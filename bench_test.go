@@ -1,0 +1,153 @@
+package locallab_test
+
+// One benchmark per paper artifact (figures 1-8, Theorems 1/6/11, plus
+// the DESIGN.md ablations), each regenerating its table at quick scale,
+// plus micro-benchmarks of the load-bearing primitives. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+
+import (
+	"testing"
+
+	"locallab/internal/core"
+	"locallab/internal/errorproof"
+	"locallab/internal/experiments"
+	"locallab/internal/gadget"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+	"locallab/internal/sinkless"
+)
+
+func benchExperiment(b *testing.B, run func(experiments.Scale) (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := run(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Table == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig1Landscape(b *testing.B)       { benchExperiment(b, experiments.Fig1Landscape) }
+func BenchmarkFig2Padding(b *testing.B)         { benchExperiment(b, experiments.Fig2Padding) }
+func BenchmarkFig3SinklessCheck(b *testing.B)   { benchExperiment(b, experiments.Fig3SinklessChecker) }
+func BenchmarkFig4PortMapping(b *testing.B)     { benchExperiment(b, experiments.Fig4PortMapping) }
+func BenchmarkFig5SubGadget(b *testing.B)       { benchExperiment(b, experiments.Fig5SubGadget) }
+func BenchmarkFig6Gadget(b *testing.B)          { benchExperiment(b, experiments.Fig6Gadget) }
+func BenchmarkFig7ColorProof(b *testing.B)      { benchExperiment(b, experiments.Fig7ColorProof) }
+func BenchmarkFig8ChainProof(b *testing.B)      { benchExperiment(b, experiments.Fig8ChainProof) }
+func BenchmarkThm1Transform(b *testing.B)       { benchExperiment(b, experiments.Thm1Transform) }
+func BenchmarkThm6GadgetFamily(b *testing.B)    { benchExperiment(b, experiments.Thm6GadgetFamily) }
+func BenchmarkThm11Hierarchy(b *testing.B)      { benchExperiment(b, experiments.Thm11Hierarchy) }
+func BenchmarkAblationBalance(b *testing.B)     { benchExperiment(b, experiments.AblationBalance) }
+func BenchmarkAblationRandRepair(b *testing.B)  { benchExperiment(b, experiments.AblationRandRepair) }
+func BenchmarkDiscussionNetDecomp(b *testing.B) { benchExperiment(b, experiments.DiscussionNetDecomp) }
+func BenchmarkLowerBoundWitness(b *testing.B)   { benchExperiment(b, experiments.LowerBoundWitness) }
+func BenchmarkAblationDoubling(b *testing.B)    { benchExperiment(b, experiments.AblationDoubling) }
+func BenchmarkAblationMessages(b *testing.B)    { benchExperiment(b, experiments.AblationMessageProtocol) }
+
+// Micro-benchmarks of the primitives behind the experiments.
+
+func BenchmarkSinklessDet2048(b *testing.B) {
+	g, err := graph.NewRandomRegular(2048, 3, 5, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	s := sinkless.NewDetSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(g, in, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSinklessRand2048(b *testing.B) {
+	g, err := graph.NewRandomRegular(2048, 3, 5, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	s := sinkless.NewRandSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(g, in, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGadgetVerifier(b *testing.B) {
+	gd, err := gadget.BuildUniform(3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vf := &errorproof.Verifier{Delta: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := vf.Run(gd.G, gd.In, gd.NumNodes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPaddedSolveLevel2(b *testing.B) {
+	inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: 32, Seed: 3, Balanced: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewPaddedSolver(sinkless.NewDetSolver(), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(inst.G, inst.In, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyPaddedLevel2(b *testing.B) {
+	inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: 32, Seed: 3, Balanced: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewPaddedSolver(sinkless.NewDetSolver(), 3)
+	out, _, err := s.Solve(inst.G, inst.In, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prime := core.NewPiPrime(sinkless.Problem{}, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.VerifyPadded(inst.G, prime, inst.In, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCyclePotential(b *testing.B) {
+	g, err := graph.NewRandomRegular(4096, 3, 7, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.CyclePotential(60)
+	}
+}
+
+func BenchmarkBallGathering(b *testing.B) {
+	g, err := graph.NewRandomRegular(8192, 3, 9, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BallAround(graph.NodeID(i%g.NumNodes()), 8)
+	}
+}

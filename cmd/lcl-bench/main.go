@@ -1,0 +1,58 @@
+// Command lcl-bench runs the full experiment suite — one experiment per
+// figure/theorem of the paper (see DESIGN.md) — and prints the tables
+// that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	lcl-bench [-quick] [-only E-F1,E-T11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"locallab/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lcl-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lcl-bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "small sizes (seconds instead of minutes)")
+	only := fs.String("only", "", "comma-separated experiment ids to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[id] = true
+		}
+	}
+	results, err := experiments.All(scale)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if len(wanted) > 0 && !wanted[r.ID] {
+			continue
+		}
+		fmt.Printf("## %s — %s\n\n%s\n", r.ID, r.Title, r.Table)
+		for _, n := range r.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Println()
+	}
+	return nil
+}

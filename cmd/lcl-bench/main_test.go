@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunQuickSubset(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E-F2,E-F5"}); err != nil {
+		t.Fatal(err)
+	}
+}

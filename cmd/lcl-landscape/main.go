@@ -1,0 +1,44 @@
+// Command lcl-landscape regenerates the Figure-1 landscape table:
+// measured deterministic vs randomized locality for the problem zoo,
+// with fitted growth classes.
+//
+// Usage:
+//
+//	lcl-landscape [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locallab/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lcl-landscape:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lcl-landscape", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "small sizes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	r, err := experiments.Fig1Landscape(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n\n%s\n", r.Title, r.Table)
+	for _, n := range r.Notes {
+		fmt.Println("note:", n)
+	}
+	return nil
+}

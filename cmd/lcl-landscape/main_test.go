@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunQuick(t *testing.T) {
+	if err := run([]string{"-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}

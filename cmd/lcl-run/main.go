@@ -1,0 +1,220 @@
+// Command lcl-run runs one problem/solver pair on a generated instance,
+// verifies the output, and reports the measured locality — the
+// everything-in-one-line entry point to the library.
+//
+// Usage:
+//
+//	lcl-run -problem sinkless-det -graph regular -n 1024 -seed 7
+//	lcl-run -problem pi2-rand -n 48
+//	lcl-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"locallab/internal/coloring"
+	"locallab/internal/core"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+	"locallab/internal/sinkless"
+)
+
+// job bundles a named problem with its solver, checker, and the graph
+// family it runs on.
+type job struct {
+	describe  string
+	defaults  string // default graph family
+	solver    lcl.Solver
+	problem   lcl.Problem
+	padded    bool // instance is a hierarchy level-2 padded graph
+	cycleOnly bool
+}
+
+func registry() map[string]job {
+	lvl2, err := core.NewLevel(2)
+	if err != nil {
+		panic(err) // static construction; cannot fail
+	}
+	return map[string]job{
+		"sinkless-det": {
+			describe: "sinkless orientation, deterministic cycle-potential solver (Θ(log n))",
+			defaults: "regular", solver: sinkless.NewDetSolver(), problem: sinkless.Problem{},
+		},
+		"sinkless-rand": {
+			describe: "sinkless orientation, randomized claims+repair solver (Θ(loglog n)-shaped)",
+			defaults: "regular", solver: sinkless.NewRandSolver(), problem: sinkless.Problem{},
+		},
+		"sinkless-msg": {
+			describe: "sinkless orientation via the message-passing protocol on the goroutine runtime",
+			defaults: "regular", solver: sinkless.NewMessageSolver(), problem: sinkless.Problem{},
+		},
+		"3coloring": {
+			describe: "3-coloring of cycles via Cole–Vishkin (Θ(log* n))",
+			defaults: "cycle", solver: coloring.NewCVSolver(), problem: coloring.Three{}, cycleOnly: true,
+		},
+		"mis": {
+			describe: "maximal independent set on cycles (Θ(log* n))",
+			defaults: "cycle", solver: coloring.NewMISSolver(), problem: coloring.MIS{}, cycleOnly: true,
+		},
+		"matching": {
+			describe: "maximal matching on cycles (Θ(log* n))",
+			defaults: "cycle", solver: coloring.NewMatchingSolver(), problem: coloring.MaximalMatching{}, cycleOnly: true,
+		},
+		"orientation": {
+			describe: "consistent cycle orientation (Θ(n), the global corner)",
+			defaults: "cycle", solver: coloring.GlobalOrientationSolver{}, problem: coloring.ConsistentOrientation{}, cycleOnly: true,
+		},
+		"trivial": {
+			describe: "the trivial problem (0 rounds)",
+			defaults: "regular", solver: coloring.TrivialSolver{}, problem: coloring.Trivial{},
+		},
+		"pi2-det": {
+			describe: "Π₂ = padded(sinkless), deterministic (Θ(log² n))",
+			defaults: "padded", solver: lvl2.Det, problem: lvl2.Problem, padded: true,
+		},
+		"pi2-rand": {
+			describe: "Π₂ = padded(sinkless), randomized (Θ(log n·loglog n))",
+			defaults: "padded", solver: lvl2.Rand, problem: lvl2.Problem, padded: true,
+		},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lcl-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lcl-run", flag.ContinueOnError)
+	probName := fs.String("problem", "sinkless-det", "problem/solver to run (see -list)")
+	family := fs.String("graph", "", "graph family: cycle, regular, bitrev, torus, hypercube (default per problem)")
+	n := fs.Int("n", 256, "instance size (base-graph size for padded problems)")
+	seed := fs.Int64("seed", 1, "instance and solver seed")
+	list := fs.Bool("list", false, "list problems and exit")
+	dump := fs.String("dump", "", "write the instance graph (text format) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	jobs := registry()
+	if *list {
+		names := make([]string, 0, len(jobs))
+		for name := range jobs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-14s %s\n", name, jobs[name].describe)
+		}
+		return nil
+	}
+	j, ok := jobs[*probName]
+	if !ok {
+		return fmt.Errorf("unknown problem %q (use -list)", *probName)
+	}
+	if *family == "" {
+		*family = j.defaults
+	}
+	if j.cycleOnly && *family != "cycle" {
+		return fmt.Errorf("problem %q runs on cycles only", *probName)
+	}
+
+	var (
+		g   *graph.Graph
+		in  *lcl.Labeling
+		err error
+	)
+	if j.padded {
+		inst, berr := core.BuildInstance(2, core.InstanceOptions{BaseNodes: *n, Seed: *seed, Balanced: true})
+		if berr != nil {
+			return berr
+		}
+		g, in = inst.G, inst.In
+		fmt.Println(core.DescribeInstance(inst.Pads[0]))
+	} else {
+		g, err = buildGraph(*family, *n, *seed)
+		if err != nil {
+			return err
+		}
+		in = lcl.NewLabeling(g)
+		fmt.Printf("instance: %s, n=%d, m=%d, Δ=%d\n", *family, g.NumNodes(), g.NumEdges(), g.MaxDegree())
+	}
+
+	out, cost, err := j.solver.Solve(g, in, *seed)
+	if err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	if j.padded {
+		prime, ok := j.problem.(*core.PiPrime)
+		if !ok {
+			return fmt.Errorf("padded job without PiPrime problem")
+		}
+		err = core.VerifyPadded(g, prime, in, out)
+	} else {
+		err = lcl.Verify(g, j.problem, in, out)
+	}
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	fmt.Printf("%s: %d rounds, output verified\n", j.solver.Name(), cost.Rounds())
+	hist := cost.Histogram()
+	radii := make([]int, 0, len(hist))
+	for r := range hist {
+		radii = append(radii, r)
+	}
+	sort.Ints(radii)
+	fmt.Print("locality histogram:")
+	for _, r := range radii {
+		fmt.Printf(" %d:%d", r, hist[r])
+	}
+	fmt.Println()
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := graph.WriteText(f, g); err != nil {
+			return err
+		}
+		fmt.Println("instance written to", *dump)
+	}
+	return nil
+}
+
+func buildGraph(family string, n int, seed int64) (*graph.Graph, error) {
+	switch family {
+	case "cycle":
+		return graph.NewCycle(n, seed)
+	case "regular":
+		if n%2 == 1 {
+			n++
+		}
+		return graph.NewRandomRegular(n, 3, seed, false)
+	case "bitrev":
+		h := 2
+		for (1<<h)-1 < n {
+			h++
+		}
+		return graph.NewBitrevTree(h, seed)
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		return graph.NewTorus(side, side, seed)
+	case "hypercube":
+		d := 1
+		for 1<<d < n {
+			d++
+		}
+		return graph.NewHypercube(d, seed)
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProblems(t *testing.T) {
+	cases := [][]string{
+		{"-problem", "sinkless-det", "-n", "64"},
+		{"-problem", "sinkless-rand", "-n", "64"},
+		{"-problem", "sinkless-msg", "-n", "64"},
+		{"-problem", "3coloring", "-n", "50"},
+		{"-problem", "mis", "-n", "50"},
+		{"-problem", "matching", "-n", "50"},
+		{"-problem", "orientation", "-n", "30"},
+		{"-problem", "trivial", "-n", "20"},
+		{"-problem", "pi2-det", "-n", "12"},
+		{"-problem", "pi2-rand", "-n", "12"},
+		{"-problem", "sinkless-det", "-graph", "bitrev", "-n", "60"},
+		{"-problem", "sinkless-det", "-graph", "torus", "-n", "25"},
+		{"-problem", "sinkless-det", "-graph", "hypercube", "-n", "32"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-problem", "nope"}); err == nil {
+		t.Error("unknown problem accepted")
+	}
+	if err := run([]string{"-problem", "3coloring", "-graph", "regular"}); err == nil {
+		t.Error("cycle-only problem on regular accepted")
+	}
+	if err := run([]string{"-problem", "sinkless-det", "-graph", "nope"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestRunDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"-problem", "trivial", "-n", "10", "-dump", path}); err != nil {
+		t.Fatal(err)
+	}
+}

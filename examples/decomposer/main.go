@@ -1,0 +1,54 @@
+// Decomposer: build a deterministic (O(log n), O(log n)) network
+// decomposition — the object the paper's discussion section connects to
+// its open question — and inspect the cluster structure.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"locallab/internal/graph"
+	"locallab/internal/measure"
+	"locallab/internal/netdecomp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "decomposer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var rows [][]string
+	for _, n := range []int{256, 1024, 4096} {
+		g, err := graph.NewRandomRegular(n, 3, int64(n), false)
+		if err != nil {
+			return err
+		}
+		dec, cost, err := netdecomp.Build(g, netdecomp.Options{})
+		if err != nil {
+			return err
+		}
+		if err := netdecomp.Verify(g, dec); err != nil {
+			return fmt.Errorf("n=%d: %w", n, err)
+		}
+		clusters := make(map[int]int)
+		largest := 0
+		for _, c := range dec.Cluster {
+			clusters[c]++
+			if clusters[c] > largest {
+				largest = clusters[c]
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(n), fmt.Sprint(len(clusters)), fmt.Sprint(largest),
+			fmt.Sprint(dec.Colors), fmt.Sprint(dec.Radius), fmt.Sprint(cost.Rounds()),
+		})
+	}
+	fmt.Println(measure.Table(
+		[]string{"n", "clusters", "largest cluster", "colors", "radius", "rounds"}, rows))
+	fmt.Println("colors and radius stay O(log n): the ND(n) term in the paper's")
+	fmt.Println("discussion-section derandomization bound D = O(R·ND + R·log² n).")
+	return nil
+}

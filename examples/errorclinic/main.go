@@ -1,0 +1,79 @@
+// Errorclinic: corrupt gadgets in every standard way and watch the
+// Section-4 machinery respond — the local structure checker spots the
+// violation, the verifier V builds locally checkable error-pointer chains
+// (Lemma 10), and the Section-4.6 proof objects certify specific
+// violation types in the node-edge formalism.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"locallab/internal/errorproof"
+	"locallab/internal/gadget"
+	"locallab/internal/lcl"
+	"locallab/internal/measure"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "errorclinic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gd, err := gadget.BuildUniform(3, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("patient:", gd.Describe())
+	fmt.Println()
+
+	var rows [][]string
+	rng := rand.New(rand.NewSource(17))
+	for _, c := range gadget.StandardCorruptions(gd, rng) {
+		g, in, err := c.Apply(gd)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+		structBroken := gadget.Validate(g, in, 3) != nil
+
+		vf := &errorproof.Verifier{Delta: 3}
+		out, cost, err := vf.Run(g, in, g.NumNodes())
+		if err != nil {
+			return err
+		}
+		errors, pointers := 0, 0
+		for _, l := range out.Node {
+			switch {
+			case l == errorproof.LabError:
+				errors++
+			case errorproof.IsErrorLabel(l):
+				pointers++
+			}
+		}
+		chainsOK := lcl.Verify(g, &errorproof.Psi{Delta: 3}, in, out) == nil
+		rows = append(rows, []string{
+			c.Name, fmt.Sprint(structBroken), fmt.Sprint(errors), fmt.Sprint(pointers),
+			fmt.Sprint(cost.Rounds()), fmt.Sprint(chainsOK),
+		})
+	}
+	fmt.Println(measure.Table(
+		[]string{"corruption", "detected", "Error nodes", "pointer nodes", "V rounds", "chains valid"}, rows))
+
+	// The healthy control: V must certify the original gadget whole.
+	vf := &errorproof.Verifier{Delta: 3}
+	out, _, err := vf.Run(gd.G, gd.In, gd.NumNodes())
+	if err != nil {
+		return err
+	}
+	for v, l := range out.Node {
+		if l != errorproof.LabGadOk {
+			return fmt.Errorf("healthy gadget: node %d labeled %q", v, l)
+		}
+	}
+	fmt.Println("\ncontrol: on the unmodified gadget V outputs GadOk everywhere (Lemma 9: no false proofs possible)")
+	return nil
+}

@@ -1,0 +1,53 @@
+// Quickstart: solve sinkless orientation — the base problem of the
+// paper's hierarchy — on a random 3-regular graph with both the
+// deterministic and the randomized solver, verify the solutions with the
+// ne-LCL checker, and compare the measured locality.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+	"locallab/internal/sinkless"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 512
+	g, err := graph.NewRandomRegular(n, 3, 42, false)
+	if err != nil {
+		return err
+	}
+	in := lcl.NewLabeling(g)
+	fmt.Printf("instance: random 3-regular multigraph, n=%d, m=%d\n\n", g.NumNodes(), g.NumEdges())
+
+	for _, solver := range []lcl.Solver{sinkless.NewDetSolver(), sinkless.NewRandSolver()} {
+		out, cost, err := solver.Solve(g, in, 7)
+		if err != nil {
+			return fmt.Errorf("%s: %w", solver.Name(), err)
+		}
+		if err := lcl.Verify(g, sinkless.Problem{}, in, out); err != nil {
+			return fmt.Errorf("%s produced an invalid orientation: %w", solver.Name(), err)
+		}
+		minOut := g.NumEdges()
+		for _, d := range sinkless.OutDegrees(g, out) {
+			if d < minOut {
+				minOut = d
+			}
+		}
+		fmt.Printf("%-28s rounds=%-4d min out-degree=%d (verified: no sinks)\n",
+			solver.Name(), cost.Rounds(), minOut)
+	}
+	fmt.Println("\nthe randomized solver needs far fewer rounds — the exponential")
+	fmt.Println("det/rand gap that the paper's padding construction stretches into")
+	fmt.Println("a polynomial one (see examples/paddedtower).")
+	return nil
+}

@@ -1,0 +1,109 @@
+package coloring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+func TestMatchingSolverOnCycles(t *testing.T) {
+	for _, n := range []int{3, 4, 7, 64, 501} {
+		g, err := graph.NewCycle(n, int64(n)+3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := lcl.NewLabeling(g)
+		out, cost, err := NewMatchingSolver().Solve(g, in, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := lcl.Verify(g, MaximalMatching{}, in, out); err != nil {
+			t.Fatalf("n=%d: invalid matching: %v", n, err)
+		}
+		if cost.Rounds() < 1 {
+			t.Errorf("n=%d: rounds = %d", n, cost.Rounds())
+		}
+	}
+}
+
+func TestMatchingRoundsNearlyConstant(t *testing.T) {
+	rounds := func(n int) int {
+		g, err := graph.NewCycle(n, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cost, err := NewMatchingSolver().Solve(g, lcl.NewLabeling(g), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost.Rounds()
+	}
+	small, large := rounds(32), rounds(8192)
+	if large > 2*small+16 {
+		t.Errorf("matching rounds grew %d -> %d; want log*-flat", small, large)
+	}
+}
+
+func TestMatchingCheckerRejects(t *testing.T) {
+	g, err := graph.NewCycle(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	// Empty matching on a cycle: free-free edges everywhere.
+	out := lcl.NewLabeling(g)
+	for v := range out.Node {
+		out.Node[v] = Free
+	}
+	if err := lcl.Verify(g, MaximalMatching{}, in, out); err == nil {
+		t.Error("empty matching accepted as maximal")
+	}
+	// All edges matched: nodes get two matched edges.
+	out2 := lcl.NewLabeling(g)
+	for v := range out2.Node {
+		out2.Node[v] = Matched
+	}
+	for e := range out2.Edge {
+		out2.Edge[e] = MatchEdge
+	}
+	if err := lcl.Verify(g, MaximalMatching{}, in, out2); err == nil {
+		t.Error("over-matching accepted")
+	}
+	// Lying node label.
+	out3, _, err := NewMatchingSolver().Solve(g, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := out3.Clone()
+	for v := range bad.Node {
+		if bad.Node[v] == Free {
+			bad.Node[v] = Matched
+			break
+		}
+	}
+	if err := lcl.Verify(g, MaximalMatching{}, in, bad); err == nil {
+		t.Error("lying matched label accepted")
+	}
+}
+
+// Property: matchings are valid across cycle sizes and ID seeds.
+func TestMatchingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3 + int(uint64(seed)%150)
+		g, err := graph.NewCycle(n, seed)
+		if err != nil {
+			return false
+		}
+		in := lcl.NewLabeling(g)
+		out, _, err := NewMatchingSolver().Solve(g, in, 0)
+		if err != nil {
+			return false
+		}
+		return lcl.Verify(g, MaximalMatching{}, in, out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

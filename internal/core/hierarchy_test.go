@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+func TestLevelDelta(t *testing.T) {
+	for _, tc := range []struct{ level, want int }{
+		{1, 3}, {2, 3}, {3, 5}, {4, 5}, {7, 5},
+	} {
+		if got := LevelDelta(tc.level); got != tc.want {
+			t.Errorf("LevelDelta(%d) = %d, want %d", tc.level, got, tc.want)
+		}
+	}
+}
+
+func TestNewLevelValidation(t *testing.T) {
+	if _, err := NewLevel(0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	lvl1, err := NewLevel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl1.Problem.Name() != "sinkless-orientation" {
+		t.Errorf("level 1 problem = %q", lvl1.Problem.Name())
+	}
+	lvl2, err := NewLevel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lvl2.Problem.Name(), "padded(sinkless-orientation)") {
+		t.Errorf("level 2 problem = %q", lvl2.Problem.Name())
+	}
+	lvl3, err := NewLevel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lvl3.Problem.Name(), "padded(padded(") {
+		t.Errorf("level 3 problem = %q", lvl3.Problem.Name())
+	}
+	if lvl2.Det.Randomized() || !lvl2.Rand.Randomized() {
+		t.Error("solver randomization flags wrong")
+	}
+}
+
+func TestLevel1Verify(t *testing.T) {
+	lvl, err := NewLevel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.NewRandomRegular(20, 3, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	out, _, err := lvl.Det.Solve(g, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lvl.Verify(g, in, out); err != nil {
+		t.Fatalf("level-1 verify: %v", err)
+	}
+}
+
+func TestBuildInstanceValidation(t *testing.T) {
+	if _, err := BuildInstance(0, InstanceOptions{BaseNodes: 8}); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := BuildInstance(2, InstanceOptions{BaseNodes: 2}); err == nil {
+		t.Error("tiny base accepted")
+	}
+	// Odd base sizes round up (configuration model parity).
+	inst, err := BuildInstance(1, InstanceOptions{BaseNodes: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.G.NumNodes()%2 != 0 {
+		t.Errorf("level-1 base size %d odd", inst.G.NumNodes())
+	}
+}
+
+func TestDescribeInstance(t *testing.T) {
+	base, err := graph.NewRandomRegular(6, 3, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := BuildPadded(base, lcl.NewLabeling(base), PadOptions{Delta: 3, GadgetHeight: 2, IsolatedPadding: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := DescribeInstance(pi)
+	for _, want := range []string{"base n=6", "height=2", "isolated=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("describe %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBalancedHeightSelection(t *testing.T) {
+	// Balanced instances pick gadgets near the base size.
+	for _, base := range []int{10, 30, 100, 300} {
+		h := balancedHeight(3, base)
+		if h < 2 {
+			t.Fatalf("balancedHeight(3, %d) = %d", base, h)
+		}
+		size := 3*((1<<h)-1) + 1
+		if size > 4*base || base > 4*size {
+			t.Errorf("balancedHeight(3, %d) = %d gives gadget size %d, far from base", base, h, size)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package core implements the paper's primary contribution: the padding
+// transform of Section 3. Given an ne-LCL Π and the (log, Δ)-gadget
+// family of Section 4, it constructs the padded problem Π′ (Section 3.3),
+// padded instances (Definition 3, Lemma 5), the Lemma-4 solver that
+// simulates a Π-solver on the virtual graph obtained by contracting valid
+// gadgets, and the recursive hierarchy Πᵢ of Theorem 11.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"locallab/internal/lcl"
+)
+
+// Edge-class input marks distinguishing gadget-internal edges from the
+// edges joining ports of different gadgets (Definition 3).
+const (
+	MarkGadEdge  lcl.Label = "GadEdge"
+	MarkPortEdge lcl.Label = "PortEdge"
+)
+
+// Port-validity output labels (Section 3.3, constraints 3 and 4).
+const (
+	PortErr1  lcl.Label = "PortErr1"
+	PortErr2  lcl.Label = "PortErr2"
+	NoPortErr lcl.Label = "NoPortErr"
+)
+
+// LabPsiEdge is the placeholder output from Σ^G of ΨG on gadget edges and
+// gadget half-edges (our ΨG carries its content on nodes); port edges and
+// port half-edges must carry the empty label ε instead (constraint 1).
+const LabPsiEdge lcl.Label = "psi-ok"
+
+// Compose packs component labels into one label; Split unpacks. JSON
+// arrays keep nesting safe: composite labels of level i embed composite
+// labels of level i-1 without escaping issues.
+func Compose(parts ...lcl.Label) lcl.Label {
+	ss := make([]string, len(parts))
+	for i, p := range parts {
+		ss[i] = string(p)
+	}
+	b, err := json.Marshal(ss)
+	if err != nil {
+		// Strings always marshal; defensive.
+		panic(fmt.Sprintf("compose label: %v", err))
+	}
+	return lcl.Label(b)
+}
+
+// Split unpacks a composite label into exactly n parts.
+func Split(l lcl.Label, n int) ([]lcl.Label, error) {
+	var ss []string
+	if err := json.Unmarshal([]byte(l), &ss); err != nil {
+		return nil, fmt.Errorf("split label %q: %w", l, err)
+	}
+	if len(ss) != n {
+		return nil, fmt.Errorf("split label: got %d parts, want %d", len(ss), n)
+	}
+	out := make([]lcl.Label, n)
+	for i, s := range ss {
+		out[i] = lcl.Label(s)
+	}
+	return out, nil
+}
+
+// Input label layout of Π′:
+//
+//	node:  [ Π-input, gadget node label ]        (Portᵢ/NoPort is carried
+//	                                              inside the gadget label)
+//	edge:  [ Π-input, class mark ]               (class ∈ {GadEdge, PortEdge})
+//	half:  [ Π-input, gadget half label ]
+const (
+	nodeParts = 2
+	edgeParts = 2
+	halfParts = 2
+)
+
+// Output label layout of Π′:
+//
+//	node:  [ Σlist JSON, portErr, Ψ output ]
+//	edge:  single label: ε on port edges, ψ placeholder on gadget edges
+//	half:  same convention as edges
+const outNodeParts = 3
+
+// SigmaList is the Σlist component of a node's output (Section 3.3): the
+// valid-port set S, copies of the virtual node's inputs, and the virtual
+// node's outputs, all indexed by physical gadget port 1..Δ (slot i-1).
+type SigmaList struct {
+	S  []int    `json:"s"`  // ascending physical port indices in S
+	IV string   `json:"iv"` // virtual node input  (copied from Port1)
+	IE []string `json:"ie"` // virtual edge inputs  per port
+	IB []string `json:"ib"` // virtual half inputs  per port
+	OV string   `json:"ov"` // virtual node output
+	OE []string `json:"oe"` // virtual edge outputs per port
+	OB []string `json:"ob"` // virtual half outputs per port
+}
+
+// NewSigmaList allocates Δ-wide slots.
+func NewSigmaList(delta int) *SigmaList {
+	return &SigmaList{
+		IE: make([]string, delta),
+		IB: make([]string, delta),
+		OE: make([]string, delta),
+		OB: make([]string, delta),
+	}
+}
+
+// Encode renders the Σlist as a label.
+func (sl *SigmaList) Encode() lcl.Label {
+	b, err := json.Marshal(sl)
+	if err != nil {
+		panic(fmt.Sprintf("encode sigma list: %v", err))
+	}
+	return lcl.Label(b)
+}
+
+// DecodeSigmaList parses a Σlist label, validating slot widths against Δ.
+func DecodeSigmaList(l lcl.Label, delta int) (*SigmaList, error) {
+	var sl SigmaList
+	if err := json.Unmarshal([]byte(l), &sl); err != nil {
+		return nil, fmt.Errorf("decode sigma list: %w", err)
+	}
+	if len(sl.IE) != delta || len(sl.IB) != delta || len(sl.OE) != delta || len(sl.OB) != delta {
+		return nil, fmt.Errorf("decode sigma list: slot widths %d/%d/%d/%d, want Δ=%d",
+			len(sl.IE), len(sl.IB), len(sl.OE), len(sl.OB), delta)
+	}
+	seen := make(map[int]bool, len(sl.S))
+	prev := 0
+	for _, p := range sl.S {
+		if p < 1 || p > delta {
+			return nil, fmt.Errorf("decode sigma list: port %d out of 1..Δ", p)
+		}
+		if seen[p] || p <= prev {
+			return nil, fmt.Errorf("decode sigma list: S not strictly ascending")
+		}
+		seen[p] = true
+		prev = p
+	}
+	return &sl, nil
+}
+
+// Contains reports whether physical port i lies in S.
+func (sl *SigmaList) Contains(i int) bool {
+	for _, p := range sl.S {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+
+	"locallab/internal/errorproof"
+	"locallab/internal/gadget"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+	"locallab/internal/local"
+)
+
+// PaddedSolver is the Lemma-4 algorithm for Π′: run the gadget verifier V
+// on every GadEdge component, mark port validity, contract valid gadgets
+// into the virtual graph H, simulate the inner Π-solver on H, and expand
+// the virtual solution into Σlist labels.
+//
+// Round accounting follows the Lemma-4 analysis: every node pays the
+// verifier radius O(log n); nodes of valid gadgets additionally pay one
+// gadget-dilation unit per simulated inner round (gathering radius
+// T·d(n)), which yields the O(T(Π,n)·d(n)) total of Theorem 1.
+type PaddedSolver struct {
+	Delta int
+	Inner lcl.Solver
+}
+
+var _ lcl.Solver = (*PaddedSolver)(nil)
+
+// NewPaddedSolver constructs the solver.
+func NewPaddedSolver(inner lcl.Solver, delta int) *PaddedSolver {
+	return &PaddedSolver{Delta: delta, Inner: inner}
+}
+
+// Name implements lcl.Solver.
+func (s *PaddedSolver) Name() string { return "padded(" + s.Inner.Name() + ")" }
+
+// Randomized implements lcl.Solver.
+func (s *PaddedSolver) Randomized() bool { return s.Inner.Randomized() }
+
+// Detail exposes the internals of a padded solve for experiments.
+type Detail struct {
+	Out       *lcl.Labeling
+	Cost      *local.Cost
+	Virtual   *VirtualGraph
+	VirtOut   *lcl.Labeling
+	InnerCost *local.Cost
+	PsiRadius int
+	Dilation  int
+	Valid     int
+	Invalid   int
+}
+
+// Solve implements lcl.Solver.
+func (s *PaddedSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Labeling, *local.Cost, error) {
+	d, err := s.SolveDetailed(g, in, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.Out, d.Cost, nil
+}
+
+// SolveDetailed runs the algorithm and returns diagnostics.
+func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int64) (*Detail, error) {
+	gadIn, err := GadInputs(g, in)
+	if err != nil {
+		return nil, fmt.Errorf("padded solve: %w", err)
+	}
+	piIn, err := PiInputs(g, in)
+	if err != nil {
+		return nil, fmt.Errorf("padded solve: %w", err)
+	}
+	scope := GadScope(g, in)
+	n := g.NumNodes()
+	cost := local.NewCost(n)
+
+	// Step 1: the verifier V solves ΨG on every gadget (Definition 2).
+	vf := &errorproof.Verifier{Delta: s.Delta, Scope: scope}
+	psiOut, psiCost, err := vf.Run(g, gadIn, n)
+	if err != nil {
+		return nil, fmt.Errorf("padded solve verifier: %w", err)
+	}
+	cost.Merge(psiCost)
+
+	// Step 2: port-validity labels (constraints 3 and 4).
+	portErr := make([]lcl.Label, n)
+	compValid, compOf := s.componentValidity(g, scope, psiOut)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		portErr[v] = s.portMark(g, gadIn, scope, psiOut, compValid, compOf, v)
+	}
+
+	// Step 3: contract valid gadgets into the virtual graph.
+	vg, err := BuildVirtual(g, gadIn, piIn, scope, psiOut.Node, portErr, s.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("padded solve: %w", err)
+	}
+
+	// Step 4: simulate the inner solver on H.
+	var virtOut *lcl.Labeling
+	innerCost := local.NewCost(vg.NumVirtualNodes())
+	if vg.NumVirtualNodes() > 0 {
+		virtOut, innerCost, err = s.Inner.Solve(vg.H, vg.In, seed)
+		if err != nil {
+			return nil, fmt.Errorf("padded solve inner: %w", err)
+		}
+	}
+
+	// Step 5: expand the virtual solution into Σlist labels and charge
+	// the simulation cost: each inner round crosses one gadget, so a
+	// node in a valid gadget pays (innerRounds+1)·(dilation+1) extra.
+	dilation := s.maxGadgetEccentricity(g, scope, vg)
+	out := lcl.NewLabeling(g)
+	sigmaOf := make([]lcl.Label, len(vg.Comps))
+	for ci := range vg.Comps {
+		if !vg.Valid[ci] || vg.VirtOf[ci] < 0 {
+			continue
+		}
+		sl, err := s.sigmaFor(g, piIn, scope, portErr, vg, ci, virtOut)
+		if err != nil {
+			return nil, fmt.Errorf("padded solve: %w", err)
+		}
+		sigmaOf[ci] = sl.Encode()
+	}
+	valid, invalid := 0, 0
+	for ci := range vg.Comps {
+		if vg.Valid[ci] {
+			valid++
+		} else {
+			invalid++
+		}
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		ci := compOf[v]
+		sigma := lcl.Label("")
+		if ci >= 0 && vg.Valid[ci] {
+			sigma = sigmaOf[ci]
+			virt := vg.VirtOf[ci]
+			innerRounds := innerCost.Radius(virt)
+			cost.Charge(v, psiCost.Radius(v)+(innerRounds+1)*(dilation+1))
+		}
+		out.Node[v] = Compose(sigma, portErr[v], psiOut.Node[v])
+	}
+	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
+		if scope(e) {
+			out.Edge[e] = LabPsiEdge
+			out.SetHalf(graph.Half{Edge: e, Side: graph.SideU}, LabPsiEdge)
+			out.SetHalf(graph.Half{Edge: e, Side: graph.SideV}, LabPsiEdge)
+		}
+	}
+	return &Detail{
+		Out:       out,
+		Cost:      cost,
+		Virtual:   vg,
+		VirtOut:   virtOut,
+		InnerCost: innerCost,
+		PsiRadius: vf.Radius(n),
+		Dilation:  dilation,
+		Valid:     valid,
+		Invalid:   invalid,
+	}, nil
+}
+
+// componentValidity computes GadEdge components and whether each is a
+// valid gadget (all Ψ outputs GadOk).
+func (s *PaddedSolver) componentValidity(g *graph.Graph, scope func(graph.EdgeID) bool, psiOut *lcl.Labeling) ([]bool, []int) {
+	n := g.NumNodes()
+	compOf := make([]int, n)
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	var valid []bool
+	for st := graph.NodeID(0); int(st) < n; st++ {
+		if compOf[st] >= 0 {
+			continue
+		}
+		idx := len(valid)
+		compOf[st] = idx
+		ok := true
+		queue := []graph.NodeID{st}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if psiOut.Node[x] != errorproof.LabGadOk {
+				ok = false
+			}
+			for _, h := range g.Halves(x) {
+				if !scope(h.Edge) {
+					continue
+				}
+				y := g.Edge(h.Edge).Other(h.Side).Node
+				if compOf[y] < 0 {
+					compOf[y] = idx
+					queue = append(queue, y)
+				}
+			}
+		}
+		valid = append(valid, ok)
+	}
+	return valid, compOf
+}
+
+// portMark assigns the {PortErr1, PortErr2, NoPortErr} label of one node
+// per the Lemma-4 algorithm.
+func (s *PaddedSolver) portMark(g *graph.Graph, gadIn *lcl.Labeling, scope func(graph.EdgeID) bool,
+	psiOut *lcl.Labeling, compValid []bool, compOf []int, v graph.NodeID) lcl.Label {
+
+	gd, err := gadget.ParseNodeInput(gadIn.Node[v])
+	if err != nil || gd.Port == 0 {
+		return NoPortErr
+	}
+	var portEdges []graph.Half
+	for _, h := range g.Halves(v) {
+		if !scope(h.Edge) {
+			portEdges = append(portEdges, h)
+		}
+	}
+	if len(portEdges) != 1 {
+		return PortErr2
+	}
+	u := g.Edge(portEdges[0].Edge).Other(portEdges[0].Side).Node
+	gu, err := gadget.ParseNodeInput(gadIn.Node[u])
+	if err != nil || gu.Port == 0 {
+		return PortErr1
+	}
+	if !compValid[compOf[v]] || !compValid[compOf[u]] {
+		return PortErr1
+	}
+	// The partner must itself have exactly one port edge, or the edge
+	// dangles on its side.
+	cnt := 0
+	for _, h := range g.Halves(u) {
+		if !scope(h.Edge) {
+			cnt++
+		}
+	}
+	if cnt != 1 {
+		return PortErr1
+	}
+	return NoPortErr
+}
+
+// sigmaFor builds the Σlist of a valid gadget from the virtual solution.
+func (s *PaddedSolver) sigmaFor(g *graph.Graph, piIn *lcl.Labeling, scope func(graph.EdgeID) bool,
+	portErr []lcl.Label, vg *VirtualGraph, ci int, virtOut *lcl.Labeling) (*SigmaList, error) {
+
+	sl := NewSigmaList(s.Delta)
+	virt := vg.VirtOf[ci]
+	p1 := vg.PortNode[ci][0]
+	if p1 < 0 {
+		return nil, fmt.Errorf("valid gadget without Port1 (component %d)", ci)
+	}
+	sl.IV = string(piIn.Node[p1])
+	if virtOut != nil {
+		sl.OV = string(virtOut.Node[virt])
+	}
+	for i := 1; i <= s.Delta; i++ {
+		pn := vg.PortNode[ci][i-1]
+		if pn < 0 || portErr[pn] != NoPortErr {
+			continue
+		}
+		sl.S = append(sl.S, i)
+		// The unique port edge at pn.
+		for _, h := range g.Halves(pn) {
+			if scope(h.Edge) {
+				continue
+			}
+			sl.IE[i-1] = string(piIn.Edge[h.Edge])
+			sl.IB[i-1] = string(piIn.HalfOf(h))
+			ve, ok := vg.VEdgeOf[h.Edge]
+			if !ok {
+				return nil, fmt.Errorf("NoPortErr port %d of component %d has no virtual edge", i, ci)
+			}
+			if virtOut != nil {
+				sl.OE[i-1] = string(virtOut.Edge[ve])
+				// The physical U side maps to the virtual U side.
+				sl.OB[i-1] = string(virtOut.HalfOf(graph.Half{Edge: ve, Side: h.Side}))
+			}
+			break
+		}
+	}
+	return sl, nil
+}
+
+// maxGadgetEccentricity measures the dilation d: the largest eccentricity
+// (within the gadget subgraph) over valid gadgets.
+func (s *PaddedSolver) maxGadgetEccentricity(g *graph.Graph, scope func(graph.EdgeID) bool, vg *VirtualGraph) int {
+	maxEcc := 0
+	for ci, nodes := range vg.Comps {
+		if !vg.Valid[ci] {
+			continue
+		}
+		ecc := scopedEccentricity(g, scope, nodes[0])
+		if ecc > maxEcc {
+			maxEcc = ecc
+		}
+	}
+	return maxEcc
+}
+
+// scopedEccentricity BFS-computes the eccentricity of start within the
+// scoped subgraph.
+func scopedEccentricity(g *graph.Graph, scope func(graph.EdgeID) bool, start graph.NodeID) int {
+	dist := map[graph.NodeID]int{start: 0}
+	queue := []graph.NodeID{start}
+	ecc := 0
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Halves(x) {
+			if !scope(h.Edge) {
+				continue
+			}
+			y := g.Edge(h.Edge).Other(h.Side).Node
+			if _, ok := dist[y]; !ok {
+				dist[y] = dist[x] + 1
+				if dist[y] > ecc {
+					ecc = dist[y]
+				}
+				queue = append(queue, y)
+			}
+		}
+	}
+	return ecc
+}

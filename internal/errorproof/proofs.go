@@ -1,0 +1,236 @@
+package errorproof
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"locallab/internal/gadget"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+// This file implements the node-edge checkable proof refinements of
+// Section 4.6: instead of an atomic Error label (whose justification a
+// checker would need a constant-radius view for), nodes emit proofs whose
+// validity decomposes into node and edge constraints.
+//
+//   - Color-clash proofs (Figure 7) certify constraint 1a violations:
+//     a node points at two incident edges whose far endpoints carry the
+//     same distance-2 color, which cannot happen under a proper coloring
+//     — so self-loops and parallel edges are exactly what they expose.
+//   - Chain proofs (Figure 8) certify constraint 2d violations: a chain
+//     A-B-C-D-E along labels Right, LChild, Left, Parent that fails to
+//     close. On a valid gadget the walk returns to its origin, which
+//     would need the origin to carry both A and E — impossible.
+
+// ClashHalf renders the half-edge output of a color-clash proof.
+func ClashHalf(c int) lcl.Label { return lcl.Label("Clash:" + strconv.Itoa(c)) }
+
+// ParseClashHalf recognizes clash half labels.
+func ParseClashHalf(l lcl.Label) (int, bool) {
+	s := string(l)
+	if !strings.HasPrefix(s, "Clash:") {
+		return 0, false
+	}
+	c, err := strconv.Atoi(s[len("Clash:"):])
+	if err != nil || c < 0 {
+		return 0, false
+	}
+	return c, true
+}
+
+// LabClashAt marks the node that claims the clash.
+const LabClashAt lcl.Label = "ClashAt"
+
+// BuildColorClashProof constructs a proof at node v that two of its
+// incident gadget edges lead to endpoints with equal distance-2 colors
+// (present exactly when the graph has a self-loop, a parallel edge, or a
+// broken coloring). It fails when v has no such pair.
+func BuildColorClashProof(g *graph.Graph, in *lcl.Labeling, v graph.NodeID) (*lcl.Labeling, error) {
+	colorOf := func(u graph.NodeID) (int, error) {
+		ni, err := gadget.ParseNodeInput(in.Node[u])
+		if err != nil {
+			return 0, fmt.Errorf("color clash proof: %w", err)
+		}
+		return ni.Color, nil
+	}
+	halves := g.Halves(v)
+	for i := 0; i < len(halves); i++ {
+		ui := g.Edge(halves[i].Edge).Other(halves[i].Side).Node
+		ci, err := colorOf(ui)
+		if err != nil {
+			return nil, err
+		}
+		for j := i + 1; j < len(halves); j++ {
+			uj := g.Edge(halves[j].Edge).Other(halves[j].Side).Node
+			cj, err := colorOf(uj)
+			if err != nil {
+				return nil, err
+			}
+			if ci != cj {
+				continue
+			}
+			out := lcl.NewLabeling(g)
+			out.Node[v] = LabClashAt
+			out.SetHalf(halves[i], ClashHalf(ci))
+			out.SetHalf(halves[j], ClashHalf(ci))
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("color clash proof: node %d has no two equal-colored gadget neighbors", v)
+}
+
+// CheckColorClashProof verifies a color-clash proof labeling: the claiming
+// node has exactly two clash halves with equal color, and each clash half
+// truthfully names the far endpoint's input color. It returns an error for
+// malformed or lying proofs — in particular, every proof on a properly
+// colored gadget is rejected.
+func CheckColorClashProof(g *graph.Graph, in, out *lcl.Labeling) error {
+	claimed := false
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		// Node constraint.
+		var clashes []int
+		for _, h := range g.Halves(v) {
+			if c, ok := ParseClashHalf(out.HalfOf(h)); ok {
+				clashes = append(clashes, c)
+				// Edge constraint: the far endpoint's input color is c.
+				u := g.Edge(h.Edge).Other(h.Side).Node
+				ni, err := gadget.ParseNodeInput(in.Node[u])
+				if err != nil {
+					return lcl.Violation("color-clash", "node", int(v), "far endpoint unparseable: %v", err)
+				}
+				if ni.Color != c {
+					return lcl.Violation("color-clash", "edge", int(h.Edge), "claimed color %d but endpoint has %d", c, ni.Color)
+				}
+			}
+		}
+		switch {
+		case out.Node[v] == LabClashAt:
+			if len(clashes) != 2 || clashes[0] != clashes[1] {
+				return lcl.Violation("color-clash", "node", int(v), "claim needs exactly two equal clash halves, got %v", clashes)
+			}
+			claimed = true
+		case len(clashes) > 0:
+			return lcl.Violation("color-clash", "node", int(v), "clash halves without a ClashAt claim")
+		}
+	}
+	if !claimed {
+		return fmt.Errorf("color-clash proof: no claim present")
+	}
+	return nil
+}
+
+// Chain proof labels: position X of chain c is "Chain:c:X".
+func chainLabel(chainID int, pos byte) lcl.Label {
+	return lcl.Label("Chain:" + strconv.Itoa(chainID) + ":" + string(pos))
+}
+
+// parseChain recognizes chain labels.
+func parseChain(l lcl.Label) (int, byte, bool) {
+	s := string(l)
+	if !strings.HasPrefix(s, "Chain:") {
+		return 0, 0, false
+	}
+	rest := s[len("Chain:"):]
+	sep := strings.LastIndexByte(rest, ':')
+	if sep < 0 || sep != len(rest)-2 {
+		return 0, 0, false
+	}
+	id, err := strconv.Atoi(rest[:sep])
+	if err != nil {
+		return 0, 0, false
+	}
+	pos := rest[sep+1]
+	if pos < 'A' || pos > 'E' {
+		return 0, 0, false
+	}
+	return id, pos, true
+}
+
+// chainSteps maps each chain position to the half label its successor
+// hangs off: the 2d walk Right, LChild, Left, Parent.
+var chainSteps = []struct {
+	pos  byte
+	step lcl.Label
+}{
+	{'A', gadget.LabRight},
+	{'B', gadget.LabLChild},
+	{'C', gadget.LabLeft},
+	{'D', gadget.LabParent},
+}
+
+// BuildChainProof constructs the Figure-8 proof that constraint 2d fails
+// at v: it walks Right, LChild, Left, Parent and labels the visited nodes
+// A..E. It fails when the walk closes back at v (i.e. 2d holds) or is
+// incomplete.
+func BuildChainProof(g *graph.Graph, in *lcl.Labeling, v graph.NodeID, chainID int) (*lcl.Labeling, error) {
+	nodes := []graph.NodeID{v}
+	cur := v
+	for _, st := range chainSteps {
+		next, ok := stepLabel(g, in, cur, st.step)
+		if !ok {
+			return nil, fmt.Errorf("chain proof: walk from %d has no %s step (2d path absent)", v, st.step)
+		}
+		nodes = append(nodes, next)
+		cur = next
+	}
+	if cur == v {
+		return nil, fmt.Errorf("chain proof: walk from %d closes (constraint 2d holds)", v)
+	}
+	seen := make(map[graph.NodeID]bool, len(nodes))
+	for _, x := range nodes {
+		if seen[x] {
+			return nil, fmt.Errorf("chain proof: walk from %d revisits node %d", v, x)
+		}
+		seen[x] = true
+	}
+	out := lcl.NewLabeling(g)
+	for i, x := range nodes {
+		out.Node[x] = chainLabel(chainID, byte('A'+i))
+	}
+	return out, nil
+}
+
+// CheckChainProof verifies chain proofs: every A..D-labeled node must have
+// its successor (across the position's step label) labeled with the next
+// position of the same chain. Because a node carries at most one label,
+// a closing walk would need A and E at once — so valid gadgets admit no
+// accepted proof (the Figure-8 soundness argument).
+func CheckChainProof(g *graph.Graph, in, out *lcl.Labeling) error {
+	found := false
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		id, pos, ok := parseChain(out.Node[v])
+		if !ok {
+			continue
+		}
+		found = true
+		if pos == 'E' {
+			continue
+		}
+		step := chainSteps[pos-'A'].step
+		next, okStep := stepLabel(g, in, v, step)
+		if !okStep {
+			return lcl.Violation("chain-proof", "node", int(v), "position %c has no %s edge", pos, step)
+		}
+		nid, npos, nok := parseChain(out.Node[next])
+		if !nok || nid != id || npos != pos+1 {
+			return lcl.Violation("chain-proof", "node", int(v), "position %c successor labeled %q, want chain %d position %c",
+				pos, out.Node[next], id, pos+1)
+		}
+	}
+	if !found {
+		return fmt.Errorf("chain proof: no chain labels present")
+	}
+	return nil
+}
+
+// stepLabel follows the first half labeled lab from v.
+func stepLabel(g *graph.Graph, in *lcl.Labeling, v graph.NodeID, lab lcl.Label) (graph.NodeID, bool) {
+	for _, h := range g.Halves(v) {
+		if in.HalfOf(h) == lab {
+			return g.Edge(h.Edge).Other(h.Side).Node, true
+		}
+	}
+	return v, false
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllQuickExperiments(t *testing.T) {
+	results, err := All(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.ID == "" || r.Title == "" || r.Table == "" {
+			t.Errorf("experiment %q incomplete", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %q", r.ID)
+		}
+		seen[r.ID] = true
+		if !strings.Contains(r.Table, "\n") {
+			t.Errorf("experiment %q table not rendered", r.ID)
+		}
+	}
+	for _, id := range []string{"E-F1", "E-F2", "E-F3", "E-F4", "E-F5", "E-F6", "E-F7", "E-F8", "E-T1", "E-T6", "E-T11", "E-A1", "E-A2", "E-D1", "E-L1", "E-A3", "E-A4"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestFig3SoundnessComplete(t *testing.T) {
+	r, err := Fig3SinklessChecker(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("soundness warning: %s", n)
+		}
+	}
+}
+
+func TestFig8LemmaChecks(t *testing.T) {
+	r, err := Fig8ChainProof(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Table, "false") {
+		t.Errorf("a Lemma 9/10 check failed:\n%s", r.Table)
+	}
+}

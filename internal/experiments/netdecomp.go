@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"locallab/internal/graph"
+	"locallab/internal/measure"
+	"locallab/internal/netdecomp"
+)
+
+// DiscussionNetDecomp regenerates the discussion-section connection: the
+// paper notes that any LCL with D(n)/R(n) = ω(log² n) would imply a
+// superlogarithmic network-decomposition lower bound (via Ghaffari,
+// Harris, Kuhn: D(n) = O(R(n)·ND(n) + R(n)·log² n)). We measure our
+// deterministic (O(log n), O(log n)) ball-carving decomposition and show
+// both parameters staying logarithmic, making the accounting concrete.
+func DiscussionNetDecomp(sc Scale) (*Result, error) {
+	sizes := sc.regularSizes()
+	var rows [][]string
+	for _, n := range sizes {
+		g, err := graph.NewRandomRegular(n, 3, int64(n)+1, false)
+		if err != nil {
+			return nil, err
+		}
+		dec, cost, err := netdecomp.Build(g, netdecomp.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := netdecomp.Verify(g, dec); err != nil {
+			return nil, fmt.Errorf("n=%d: invalid decomposition: %w", n, err)
+		}
+		logn := math.Log2(float64(n))
+		rows = append(rows, []string{
+			fmt.Sprint(n), fmt.Sprint(dec.Colors), fmt.Sprint(dec.Radius),
+			fmt.Sprintf("%.2f", float64(dec.Colors)/logn),
+			fmt.Sprintf("%.2f", float64(dec.Radius)/logn),
+			fmt.Sprint(cost.Rounds()),
+		})
+	}
+	return &Result{
+		ID:    "E-D1",
+		Title: "Discussion: deterministic (O(log n), O(log n)) network decomposition",
+		Table: measure.Table([]string{"n", "colors", "radius", "colors/log n", "radius/log n", "rounds"}, rows),
+		Notes: []string{
+			"both parameters stay O(log n): the ND(n) term of the GHK derandomization bound",
+			"an LCL with D/R = ω(log² n) would contradict this construction's existence at ND(n)=O(log n)... which is the open problem the paper closes its discussion with",
+		},
+	}, nil
+}

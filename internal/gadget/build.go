@@ -1,0 +1,165 @@
+package gadget
+
+import (
+	"fmt"
+
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+// Gadget is a constructed member of the (log, Δ)-gadget family: the graph,
+// its structural input labeling, and the distinguished nodes.
+type Gadget struct {
+	G      *graph.Graph
+	In     *lcl.Labeling
+	Ports  []graph.NodeID // Ports[i-1] is the Portᵢ node
+	Center graph.NodeID
+	Delta  int
+	// Heights of the Δ sub-gadgets, in index order.
+	Heights []int
+}
+
+// NumNodes is the gadget size n.
+func (gd *Gadget) NumNodes() int { return gd.G.NumNodes() }
+
+// SubgadgetSize returns the node count of a complete binary tree of the
+// given height.
+func SubgadgetSize(height int) int { return (1 << height) - 1 }
+
+// GadgetSize returns the total node count of a gadget with the given
+// sub-gadget heights (including the center).
+func GadgetSize(heights []int) int {
+	n := 1
+	for _, h := range heights {
+		n += SubgadgetSize(h)
+	}
+	return n
+}
+
+// HeightForNodes returns the uniform sub-gadget height that brings a
+// Δ-sub-gadget gadget closest to (at least) the requested node count —
+// the Θ(n)-node gadget with Θ(log n) port distances demanded by
+// Definition 2.
+func HeightForNodes(delta, nodes int) int {
+	h := 2
+	for GadgetSize(uniformHeights(delta, h)) < nodes {
+		h++
+	}
+	return h
+}
+
+func uniformHeights(delta, h int) []int {
+	hs := make([]int, delta)
+	for i := range hs {
+		hs[i] = h
+	}
+	return hs
+}
+
+// Build constructs a gadget with the given sub-gadget heights (len =
+// Δ >= 2, every height >= 2). Node identifiers are 1..n in construction
+// order; padded-graph builders re-identify nodes as they copy.
+func Build(delta int, heights []int) (*Gadget, error) {
+	if delta < 2 {
+		return nil, fmt.Errorf("build gadget: delta %d < 2", delta)
+	}
+	if len(heights) != delta {
+		return nil, fmt.Errorf("build gadget: %d heights for delta %d", len(heights), delta)
+	}
+	for i, h := range heights {
+		if h < 2 {
+			return nil, fmt.Errorf("build gadget: sub-gadget %d height %d < 2", i+1, h)
+		}
+	}
+	b := graph.NewBuilder(GadgetSize(heights), 4*GadgetSize(heights))
+	var nextID int64 = 1
+	newNode := func() graph.NodeID {
+		v := b.MustAddNode(nextID)
+		nextID++
+		return v
+	}
+
+	type halfLab struct {
+		e    graph.EdgeID
+		side graph.Side
+		lab  lcl.Label
+	}
+	var halves []halfLab
+	nodeInputs := make(map[graph.NodeID]NodeInput)
+
+	center := newNode()
+	nodeInputs[center] = NodeInput{Center: true}
+	ports := make([]graph.NodeID, delta)
+
+	for i := 1; i <= delta; i++ {
+		h := heights[i-1]
+		levels := make([][]graph.NodeID, h)
+		for l := 0; l < h; l++ {
+			levels[l] = make([]graph.NodeID, 1<<l)
+			for x := 0; x < 1<<l; x++ {
+				v := newNode()
+				levels[l][x] = v
+				ni := NodeInput{Index: i}
+				if l == h-1 && x == (1<<l)-1 {
+					ni.Port = i
+					ports[i-1] = v
+				}
+				nodeInputs[v] = ni
+			}
+		}
+		// Parent edges with LChild/RChild labels on the parent side.
+		for l := 1; l < h; l++ {
+			for x := 0; x < 1<<l; x++ {
+				child, par := levels[l][x], levels[l-1][x/2]
+				e := b.MustAddEdge(child, par)
+				childLab := lcl.Label(LabRChild)
+				if x%2 == 0 {
+					childLab = LabLChild
+				}
+				halves = append(halves,
+					halfLab{e: e, side: graph.SideU, lab: LabParent},
+					halfLab{e: e, side: graph.SideV, lab: childLab})
+			}
+		}
+		// Horizontal level paths.
+		for l := 0; l < h; l++ {
+			for x := 0; x+1 < 1<<l; x++ {
+				u, v := levels[l][x], levels[l][x+1]
+				e := b.MustAddEdge(u, v)
+				halves = append(halves,
+					halfLab{e: e, side: graph.SideU, lab: LabRight},
+					halfLab{e: e, side: graph.SideV, lab: LabLeft})
+			}
+		}
+		// Root to center.
+		e := b.MustAddEdge(levels[0][0], center)
+		halves = append(halves,
+			halfLab{e: e, side: graph.SideU, lab: LabUp},
+			halfLab{e: e, side: graph.SideV, lab: HalfDown(i)})
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("build gadget: %w", err)
+	}
+	colors, err := graph.Distance2Coloring(g)
+	if err != nil {
+		return nil, fmt.Errorf("build gadget coloring: %w", err)
+	}
+	in := lcl.NewLabeling(g)
+	for v, ni := range nodeInputs {
+		ni.Color = colors[v]
+		in.Node[v] = ni.Label()
+	}
+	for _, hl := range halves {
+		in.SetHalf(graph.Half{Edge: hl.e, Side: hl.side}, hl.lab)
+	}
+	return &Gadget{G: g, In: in, Ports: ports, Center: center, Delta: delta, Heights: append([]int(nil), heights...)}, nil
+}
+
+// BuildUniform constructs a gadget whose Δ sub-gadgets all have the same
+// height — the Θ(log n)-port-distance members of the family used in the
+// lower-bound instances (Section 4.7).
+func BuildUniform(delta, height int) (*Gadget, error) {
+	return Build(delta, uniformHeights(delta, height))
+}

@@ -1,0 +1,172 @@
+package gadget
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+// Corruption mutates a copy of a gadget into an invalid instance, for
+// testing local checkability (Lemmas 7 and 8) and the error-proof
+// machinery. Name identifies the mutation in test output.
+type Corruption struct {
+	Name string
+	// Apply returns the mutated graph and input labeling. The original
+	// is never modified.
+	Apply func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error)
+}
+
+// relabelHalf returns a corruption replacing one half-edge label.
+func relabelHalf(name string, h graph.Half, lab lcl.Label) Corruption {
+	return Corruption{
+		Name: name,
+		Apply: func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error) {
+			in := gd.In.Clone()
+			in.SetHalf(h, lab)
+			return gd.G, in, nil
+		},
+	}
+}
+
+// relabelNode returns a corruption replacing one node label.
+func relabelNode(name string, v graph.NodeID, lab lcl.Label) Corruption {
+	return Corruption{
+		Name: name,
+		Apply: func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error) {
+			in := gd.In.Clone()
+			in.Node[v] = lab
+			return gd.G, in, nil
+		},
+	}
+}
+
+// CopyWithExtraEdge rebuilds the gadget graph with one extra edge between
+// u and v, labeling its halves labU/labV; all other labels carry over.
+func CopyWithExtraEdge(gd *Gadget, u, v graph.NodeID, labU, labV lcl.Label) (*graph.Graph, *lcl.Labeling, error) {
+	b := graph.NewBuilder(gd.G.NumNodes(), gd.G.NumEdges()+1)
+	for x := graph.NodeID(0); int(x) < gd.G.NumNodes(); x++ {
+		if _, err := b.AddNode(gd.G.ID(x)); err != nil {
+			return nil, nil, fmt.Errorf("copy gadget: %w", err)
+		}
+	}
+	for e := graph.EdgeID(0); int(e) < gd.G.NumEdges(); e++ {
+		ed := gd.G.Edge(e)
+		if _, err := b.AddEdge(ed.U.Node, ed.V.Node); err != nil {
+			return nil, nil, fmt.Errorf("copy gadget: %w", err)
+		}
+	}
+	extra, err := b.AddEdge(u, v)
+	if err != nil {
+		return nil, nil, fmt.Errorf("copy gadget extra edge: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	in := lcl.NewLabeling(g)
+	copy(in.Node, gd.In.Node)
+	copy(in.Edge, gd.In.Edge)
+	copy(in.Half, gd.In.Half) // old half indices are preserved by identical edge order
+	in.SetHalf(graph.Half{Edge: extra, Side: graph.SideU}, labU)
+	in.SetHalf(graph.Half{Edge: extra, Side: graph.SideV}, labV)
+	return g, in, nil
+}
+
+// StandardCorruptions enumerates a representative set of single
+// structural mutations; every one of them must be caught by some node's
+// local check. rng picks the mutation sites.
+func StandardCorruptions(gd *Gadget, rng *rand.Rand) []Corruption {
+	g := gd.G
+	anyEdge := graph.EdgeID(rng.Intn(g.NumEdges()))
+	hu := graph.Half{Edge: anyEdge, Side: graph.SideU}
+	subNode := gd.Ports[0]
+	ni, _ := ParseNodeInput(gd.In.Node[subNode])
+
+	corruptions := []Corruption{
+		relabelHalf("half-label-garbage", hu, "Garbage"),
+		relabelHalf("half-label-empty", hu, ""),
+		relabelNode("node-label-garbage", subNode, "Nonsense:1"),
+		relabelNode("port-index-mismatch", subNode, NodeInput{Index: ni.Index, Port: ni.Index%gd.Delta + 1, Color: ni.Color}.Label()),
+		relabelNode("drop-port-label", subNode, NodeInput{Index: ni.Index, Color: ni.Color}.Label()),
+		relabelNode("center-turned-plain", gd.Center, NodeInput{Index: 1, Color: 0}.Label()),
+		{
+			Name: "swap-left-right",
+			Apply: func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error) {
+				in := gd.In.Clone()
+				for e := graph.EdgeID(0); int(e) < gd.G.NumEdges(); e++ {
+					u := graph.Half{Edge: e, Side: graph.SideU}
+					if in.HalfOf(u) == LabRight {
+						in.SetHalf(u, LabLeft)
+						in.SetHalf(graph.Half{Edge: e, Side: graph.SideV}, LabRight)
+						return gd.G, in, nil
+					}
+				}
+				return gd.G, in.Clone(), fmt.Errorf("no Right half found")
+			},
+		},
+		{
+			Name: "duplicate-color",
+			Apply: func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error) {
+				in := gd.In.Clone()
+				// Give a node its neighbor's color: breaks distance-2.
+				v := gd.Ports[0]
+				h := gd.G.Halves(v)[0]
+				u := gd.G.Edge(h.Edge).Other(h.Side).Node
+				vi, err := ParseNodeInput(in.Node[v])
+				if err != nil {
+					return nil, nil, err
+				}
+				ui, err := ParseNodeInput(in.Node[u])
+				if err != nil {
+					return nil, nil, err
+				}
+				vi.Color = ui.Color
+				in.Node[v] = vi.Label()
+				return gd.G, in, nil
+			},
+		},
+		{
+			Name: "parallel-edge",
+			Apply: func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error) {
+				ed := gd.G.Edge(anyEdge)
+				return CopyWithExtraEdge(gd, ed.U.Node, ed.V.Node, "Garbage", "Garbage")
+			},
+		},
+		{
+			Name: "self-loop",
+			Apply: func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error) {
+				return CopyWithExtraEdge(gd, subNode, subNode, "Garbage", "Garbage")
+			},
+		},
+		{
+			Name: "cross-subgadget-edge",
+			Apply: func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error) {
+				// Connect two ports of different sub-gadgets with
+				// plausible-looking labels: the index-equality constraint
+				// must fire.
+				return CopyWithExtraEdge(gd, gd.Ports[0], gd.Ports[1], LabRight, LabLeft)
+			},
+		},
+		{
+			Name: "decapitate-root",
+			Apply: func(gd *Gadget) (*graph.Graph, *lcl.Labeling, error) {
+				// Relabel the Up half of sub-gadget 1's root as Parent:
+				// pairing with Down must fire.
+				in := gd.In.Clone()
+				for e := graph.EdgeID(0); int(e) < gd.G.NumEdges(); e++ {
+					for _, side := range []graph.Side{graph.SideU, graph.SideV} {
+						h := graph.Half{Edge: e, Side: side}
+						if in.HalfOf(h) == LabUp {
+							in.SetHalf(h, LabParent)
+							return gd.G, in, nil
+						}
+					}
+				}
+				return nil, nil, fmt.Errorf("no Up half found")
+			},
+		},
+	}
+	return corruptions
+}

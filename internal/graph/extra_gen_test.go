@@ -1,0 +1,77 @@
+package graph
+
+import "testing"
+
+func TestNewHypercube(t *testing.T) {
+	g, err := NewHypercube(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 16 || g.NumEdges() != 32 {
+		t.Fatalf("Q4 size (%d,%d), want (16,32)", g.NumNodes(), g.NumEdges())
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("Q4 node %d degree %d", v, g.Degree(v))
+		}
+	}
+	// Vertex-transitive: WL cannot split it at any radius.
+	for _, r := range []int{0, 2, 5} {
+		if _, k := WLColors(g, r); k != 1 {
+			t.Fatalf("Q4 WL classes at r=%d: %d, want 1", r, k)
+		}
+	}
+	if _, err := NewHypercube(0, 1); err == nil {
+		t.Error("dim 0 accepted")
+	}
+}
+
+func TestGirth(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*Graph, error)
+		want  int
+		ok    bool
+	}{
+		{"C5", func() (*Graph, error) { return NewCycle(5, 1) }, 5, true},
+		{"Q3", func() (*Graph, error) { return NewHypercube(3, 1) }, 4, true},
+		{"tree", func() (*Graph, error) { return NewCompleteBinaryTree(4, 1) }, 0, false},
+		{"torus", func() (*Graph, error) { return NewTorus(5, 5, 1) }, 4, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := g.Girth()
+			if ok != tt.ok || (ok && got != tt.want) {
+				t.Fatalf("Girth = (%d,%v), want (%d,%v)", got, ok, tt.want, tt.ok)
+			}
+		})
+	}
+	// Multigraph conventions.
+	b := NewBuilder(2, 2)
+	u := b.MustAddNode(1)
+	v := b.MustAddNode(2)
+	b.MustAddEdge(u, v)
+	b.MustAddEdge(u, v)
+	g := b.MustBuild()
+	if got, ok := g.Girth(); !ok || got != 2 {
+		t.Errorf("parallel-pair girth = (%d,%v), want (2,true)", got, ok)
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	g, err := NewPath(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := g.DegreeSequence()
+	want := []int{1, 1, 2, 2}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("degree sequence %v, want %v", seq, want)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// idScheme produces the unique identifiers handed to nodes. The LOCAL
+// model only promises identifiers from {1..poly(n)}; to keep adversarial
+// ID placement exercised, generators shuffle identifiers with the seed.
+func shuffledIDs(n int, rng *rand.Rand) []int64 {
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i + 1)
+	}
+	if rng != nil {
+		rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	}
+	return ids
+}
+
+// NewCycle builds the cycle graph C_n (n >= 3 for a simple cycle; n == 2
+// gives a pair of parallel edges and n == 1 a self-loop, both legal here).
+func NewCycle(n int, seed int64) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cycle: need n >= 1, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := shuffledIDs(n, rng)
+	b := NewBuilder(n, n)
+	nodes := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = b.MustAddNode(ids[i])
+	}
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(nodes[i], nodes[(i+1)%n])
+	}
+	return b.Build()
+}
+
+// NewPath builds the path graph P_n.
+func NewPath(n int, seed int64) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("path: need n >= 1, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := shuffledIDs(n, rng)
+	b := NewBuilder(n, n-1)
+	nodes := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = b.MustAddNode(ids[i])
+	}
+	for i := 0; i+1 < n; i++ {
+		b.MustAddEdge(nodes[i], nodes[i+1])
+	}
+	return b.Build()
+}
+
+// NewCompleteBinaryTree builds a complete binary tree with 2^height - 1
+// nodes.
+func NewCompleteBinaryTree(height int, seed int64) (*Graph, error) {
+	if height < 1 {
+		return nil, fmt.Errorf("binary tree: need height >= 1, got %d", height)
+	}
+	n := (1 << height) - 1
+	rng := rand.New(rand.NewSource(seed))
+	ids := shuffledIDs(n, rng)
+	b := NewBuilder(n, n-1)
+	nodes := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = b.MustAddNode(ids[i])
+	}
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(nodes[(i-1)/2], nodes[i])
+	}
+	return b.Build()
+}
+
+// NewRandomRegular builds a random d-regular multigraph on n nodes via the
+// configuration model (n*d must be even). Self-loops and parallel edges
+// can occur; the paper's model explicitly allows them. With simple=true
+// the pairing is re-drawn (up to 200 attempts) until the graph is simple.
+func NewRandomRegular(n, d int, seed int64, simple bool) (*Graph, error) {
+	if n < 2 || d < 1 {
+		return nil, fmt.Errorf("random regular: need n >= 2, d >= 1, got n=%d d=%d", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("random regular: n*d must be even, got n=%d d=%d", n, d)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; ; attempt++ {
+		stubs := make([]int, n*d)
+		for i := range stubs {
+			stubs[i] = i / d
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		if simple {
+			seen := make(map[[2]int]bool, n*d/2)
+			for i := 0; i < len(stubs); i += 2 {
+				u, v := stubs[i], stubs[i+1]
+				if u == v {
+					ok = false
+					break
+				}
+				key := [2]int{min(u, v), max(u, v)}
+				if seen[key] {
+					ok = false
+					break
+				}
+				seen[key] = true
+			}
+		}
+		if !ok {
+			if attempt >= 200 {
+				return nil, fmt.Errorf("random regular: no simple pairing after %d attempts", attempt)
+			}
+			continue
+		}
+		ids := shuffledIDs(n, rng)
+		b := NewBuilder(n, n*d/2)
+		nodes := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = b.MustAddNode(ids[i])
+		}
+		for i := 0; i < len(stubs); i += 2 {
+			b.MustAddEdge(nodes[stubs[i]], nodes[stubs[i+1]])
+		}
+		return b.Build()
+	}
+}
+
+// NewBitrevTree builds the deterministic "bit-reversal leaf-cycle tree"
+// hard family for sinkless orientation: a complete binary tree of the
+// given height whose leaves are additionally joined into a single cycle in
+// bit-reversed order. Interior nodes have degree 3 (root: 2, leaves: 3),
+// every cycle has length Ω(height), and the distance from the root to any
+// cycle is height-1, so the deterministic cycle-potential is Θ(log n)
+// across a constant fraction of nodes — the shape of the paper's
+// deterministic lower bound instances.
+func NewBitrevTree(height int, seed int64) (*Graph, error) {
+	if height < 2 {
+		return nil, fmt.Errorf("bitrev tree: need height >= 2, got %d", height)
+	}
+	n := (1 << height) - 1
+	leaves := 1 << (height - 1)
+	rng := rand.New(rand.NewSource(seed))
+	ids := shuffledIDs(n, rng)
+	b := NewBuilder(n, n-1+leaves)
+	nodes := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = b.MustAddNode(ids[i])
+	}
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(nodes[(i-1)/2], nodes[i])
+	}
+	// Leaves occupy heap indices leaves-1 .. 2*leaves-2. Connect them in a
+	// cycle following the bit-reversal permutation of their rank so that
+	// consecutive cycle leaves are far apart in the tree.
+	bits := height - 1
+	order := make([]int, leaves)
+	for r := 0; r < leaves; r++ {
+		order[r] = bitReverse(r, bits)
+	}
+	for i := 0; i < leaves; i++ {
+		u := leaves - 1 + order[i]
+		v := leaves - 1 + order[(i+1)%leaves]
+		b.MustAddEdge(nodes[u], nodes[v])
+	}
+	return b.Build()
+}
+
+func bitReverse(x, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// NewTorus builds the 2D n×m torus grid (degree 4); a standard
+// bounded-degree benchmark topology.
+func NewTorus(rows, cols int, seed int64) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("torus: need rows, cols >= 3, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	rng := rand.New(rand.NewSource(seed))
+	ids := shuffledIDs(n, rng)
+	b := NewBuilder(n, 2*n)
+	nodes := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = b.MustAddNode(ids[i])
+	}
+	at := func(r, c int) NodeID { return nodes[((r+rows)%rows)*cols+(c+cols)%cols] }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.MustAddEdge(at(r, c), at(r, c+1))
+			b.MustAddEdge(at(r, c), at(r+1, c))
+		}
+	}
+	return b.Build()
+}
+
+// DisjointUnion places several graphs side by side in a single graph,
+// re-assigning fresh identifiers (originals offset per part to stay
+// unique). It returns the union plus, per part, the mapping from the
+// part's NodeIDs to the union's NodeIDs.
+func DisjointUnion(parts ...*Graph) (*Graph, [][]NodeID, error) {
+	totalN, totalE := 0, 0
+	for _, p := range parts {
+		totalN += p.NumNodes()
+		totalE += p.NumEdges()
+	}
+	if totalN == 0 {
+		return nil, nil, ErrEmptyGraph
+	}
+	b := NewBuilder(totalN, totalE)
+	maps := make([][]NodeID, len(parts))
+	var offset int64
+	for pi, p := range parts {
+		m := make([]NodeID, p.NumNodes())
+		for v := 0; v < p.NumNodes(); v++ {
+			m[v] = b.MustAddNode(p.ID(NodeID(v)) + offset)
+		}
+		for e := 0; e < p.NumEdges(); e++ {
+			ed := p.Edge(EdgeID(e))
+			b.MustAddEdge(m[ed.U.Node], m[ed.V.Node])
+		}
+		maps[pi] = m
+		offset += p.MaxIdentifier()
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, maps, nil
+}

@@ -1,0 +1,255 @@
+// Package graph provides the bounded-degree multigraph substrate used by the
+// LOCAL-model simulator and the LCL machinery.
+//
+// Following Section 2 of the paper, graphs may be disconnected and may
+// contain self-loops and parallel edges. Each node has a unique identifier
+// from {1, ..., poly(n)}, and its incident edges are numbered with ports
+// 0..deg-1 (the paper numbers them 1..d; we use 0-based ports internally).
+//
+// The set B of incident node-edge pairs ("half-edges") is first-class: each
+// edge has two sides, and a Half value addresses one of them. Labels for the
+// LCL layer are stored outside the graph, in slices indexed by NodeID,
+// EdgeID and Half index, so the structural substrate stays label-agnostic.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID indexes a node within a Graph (dense, 0-based).
+type NodeID int32
+
+// EdgeID indexes an edge within a Graph (dense, 0-based).
+type EdgeID int32
+
+// Side selects one endpoint of an edge.
+type Side int8
+
+// Edge sides. A self-loop has both sides at the same node but on
+// different ports.
+const (
+	SideU Side = 0
+	SideV Side = 1
+)
+
+// Half addresses a node-edge pair (an element of B): one side of one edge.
+type Half struct {
+	Edge EdgeID
+	Side Side
+}
+
+// Index returns a dense index for the half-edge, usable for label slices
+// of length 2*|E|.
+func (h Half) Index() int { return 2*int(h.Edge) + int(h.Side) }
+
+// HalfFromIndex is the inverse of Half.Index.
+func HalfFromIndex(i int) Half {
+	return Half{Edge: EdgeID(i / 2), Side: Side(i % 2)}
+}
+
+// Endpoint is a node together with the port at which an edge attaches.
+type Endpoint struct {
+	Node NodeID
+	Port int32
+}
+
+// Edge is an undirected edge between two endpoints. U and V may name the
+// same node (self-loop), and several edges may share the same endpoints
+// (parallel edges).
+type Edge struct {
+	ID EdgeID
+	U  Endpoint
+	V  Endpoint
+}
+
+// At returns the endpoint on the given side.
+func (e Edge) At(s Side) Endpoint {
+	if s == SideU {
+		return e.U
+	}
+	return e.V
+}
+
+// Other returns the endpoint opposite the given side.
+func (e Edge) Other(s Side) Endpoint {
+	if s == SideU {
+		return e.V
+	}
+	return e.U
+}
+
+// Graph is an immutable bounded-degree multigraph with port numbering.
+// Build one with a Builder.
+type Graph struct {
+	ids   []int64 // unique identifier of each node
+	edges []Edge
+	adj   [][]Half // adj[v][p] = half-edge attached at port p of node v
+	maxID int64
+}
+
+// NumNodes returns n, the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.ids) }
+
+// NumEdges returns the number of edges (parallel edges counted separately).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumHalves returns 2*|E|, the size of B.
+func (g *Graph) NumHalves() int { return 2 * len(g.edges) }
+
+// ID returns the unique identifier of node v.
+func (g *Graph) ID(v NodeID) int64 { return g.ids[v] }
+
+// MaxIdentifier returns the largest node identifier present.
+func (g *Graph) MaxIdentifier() int64 { return g.maxID }
+
+// Degree returns the degree of node v; self-loops contribute 2.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// MaxDegree returns Δ, the maximum degree over all nodes.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(e EdgeID) Edge { return g.edges[e] }
+
+// HalfAt returns the half-edge attached at port p of node v.
+func (g *Graph) HalfAt(v NodeID, p int32) Half { return g.adj[v][p] }
+
+// Halves returns the half-edges attached to v in port order. The returned
+// slice must not be modified.
+func (g *Graph) Halves(v NodeID) []Half { return g.adj[v] }
+
+// HalfNode returns the node to which the half-edge h is attached.
+func (g *Graph) HalfNode(h Half) NodeID { return g.edges[h.Edge].At(h.Side).Node }
+
+// HalfPort returns the port at which half-edge h attaches to its node.
+func (g *Graph) HalfPort(h Half) int32 { return g.edges[h.Edge].At(h.Side).Port }
+
+// NeighborAt returns the node at the other end of the edge attached at
+// port p of node v (which is v itself for a self-loop), together with
+// that edge's ID.
+func (g *Graph) NeighborAt(v NodeID, p int32) (NodeID, EdgeID) {
+	h := g.adj[v][p]
+	return g.edges[h.Edge].Other(h.Side).Node, h.Edge
+}
+
+// OppositeHalf returns the half-edge on the other side of h's edge.
+func (g *Graph) OppositeHalf(h Half) Half {
+	return Half{Edge: h.Edge, Side: 1 - h.Side}
+}
+
+// EndpointsEqual reports whether the edge is a self-loop.
+func (g *Graph) IsSelfLoop(e EdgeID) bool {
+	ed := g.edges[e]
+	return ed.U.Node == ed.V.Node
+}
+
+// Builder assembles a Graph incrementally.
+type Builder struct {
+	ids   []int64
+	seen  map[int64]struct{}
+	edges []Edge
+	adj   [][]Half
+}
+
+// NewBuilder returns an empty Builder with capacity hints.
+func NewBuilder(nodeHint, edgeHint int) *Builder {
+	return &Builder{
+		ids:   make([]int64, 0, nodeHint),
+		seen:  make(map[int64]struct{}, nodeHint),
+		edges: make([]Edge, 0, edgeHint),
+		adj:   make([][]Half, 0, nodeHint),
+	}
+}
+
+// AddNode adds a node with the given unique identifier and returns its
+// NodeID. Identifiers must be positive and unique.
+func (b *Builder) AddNode(id int64) (NodeID, error) {
+	if id <= 0 {
+		return 0, fmt.Errorf("add node: identifier %d is not positive", id)
+	}
+	if _, dup := b.seen[id]; dup {
+		return 0, fmt.Errorf("add node: identifier %d already used", id)
+	}
+	b.seen[id] = struct{}{}
+	b.ids = append(b.ids, id)
+	b.adj = append(b.adj, nil)
+	return NodeID(len(b.ids) - 1), nil
+}
+
+// MustAddNode is AddNode for construction code with known-good inputs;
+// it panics on error and is intended for generators and tests.
+func (b *Builder) MustAddNode(id int64) NodeID {
+	v, err := b.AddNode(id)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// AddEdge adds an undirected edge between u and v (which may be equal,
+// yielding a self-loop) and returns its EdgeID. Ports are assigned in
+// insertion order.
+func (b *Builder) AddEdge(u, v NodeID) (EdgeID, error) {
+	if int(u) >= len(b.ids) || int(v) >= len(b.ids) || u < 0 || v < 0 {
+		return 0, fmt.Errorf("add edge: node out of range (%d, %d)", u, v)
+	}
+	id := EdgeID(len(b.edges))
+	pu := int32(len(b.adj[u]))
+	b.adj[u] = append(b.adj[u], Half{Edge: id, Side: SideU})
+	pv := int32(len(b.adj[v]))
+	if u == v {
+		// The second attachment of a self-loop lands one port later.
+		pv = int32(len(b.adj[v]))
+	}
+	b.adj[v] = append(b.adj[v], Half{Edge: id, Side: SideV})
+	b.edges = append(b.edges, Edge{
+		ID: id,
+		U:  Endpoint{Node: u, Port: pu},
+		V:  Endpoint{Node: v, Port: pv},
+	})
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error, for generators and tests.
+func (b *Builder) MustAddEdge(u, v NodeID) EdgeID {
+	e, err := b.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ErrEmptyGraph is returned by Build for graphs with no nodes.
+var ErrEmptyGraph = errors.New("graph has no nodes")
+
+// Build finalizes the builder into an immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.ids) == 0 {
+		return nil, ErrEmptyGraph
+	}
+	var maxID int64
+	for _, id := range b.ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	return &Graph{ids: b.ids, edges: b.edges, adj: b.adj, maxID: maxID}, nil
+}
+
+// MustBuild is Build that panics on error, for generators and tests.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,471 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4, 4)
+	v0 := b.MustAddNode(10)
+	v1 := b.MustAddNode(20)
+	v2 := b.MustAddNode(30)
+	e01 := b.MustAddEdge(v0, v1)
+	e12 := b.MustAddEdge(v1, v2)
+	loop := b.MustAddEdge(v2, v2)
+	par := b.MustAddEdge(v0, v1)
+	g := b.MustBuild()
+
+	if got := g.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Fatalf("NumEdges = %d, want 4", got)
+	}
+	if got := g.Degree(v0); got != 2 {
+		t.Errorf("Degree(v0) = %d, want 2", got)
+	}
+	if got := g.Degree(v2); got != 3 {
+		t.Errorf("Degree(v2) = %d, want 3 (self-loop counts twice)", got)
+	}
+	if !g.IsSelfLoop(loop) {
+		t.Errorf("IsSelfLoop(loop) = false, want true")
+	}
+	if g.IsSelfLoop(par) {
+		t.Errorf("IsSelfLoop(par) = true, want false")
+	}
+	if got, _ := g.NeighborAt(v0, 0); got != v1 {
+		t.Errorf("NeighborAt(v0,0) = %d, want %d", got, v1)
+	}
+	if got := g.ID(v1); got != 20 {
+		t.Errorf("ID(v1) = %d, want 20", got)
+	}
+	_ = e01
+	_ = e12
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2, 1)
+	if _, err := b.AddNode(0); err == nil {
+		t.Error("AddNode(0) should fail: non-positive identifier")
+	}
+	if _, err := b.AddNode(5); err != nil {
+		t.Fatalf("AddNode(5): %v", err)
+	}
+	if _, err := b.AddNode(5); err == nil {
+		t.Error("duplicate identifier should fail")
+	}
+	if _, err := b.AddEdge(0, 9); err == nil {
+		t.Error("edge to missing node should fail")
+	}
+	empty := NewBuilder(0, 0)
+	if _, err := empty.Build(); err == nil {
+		t.Error("empty build should fail")
+	}
+}
+
+func TestSelfLoopPorts(t *testing.T) {
+	b := NewBuilder(1, 1)
+	v := b.MustAddNode(1)
+	e := b.MustAddEdge(v, v)
+	g := b.MustBuild()
+	ed := g.Edge(e)
+	if ed.U.Port == ed.V.Port {
+		t.Fatalf("self-loop sides share port %d; want distinct ports", ed.U.Port)
+	}
+	if got := g.Degree(v); got != 2 {
+		t.Fatalf("self-loop degree = %d, want 2", got)
+	}
+}
+
+func TestPortNumberingConsistency(t *testing.T) {
+	g, err := NewRandomRegular(40, 3, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		for p, h := range g.Halves(v) {
+			if got := g.HalfNode(h); got != v {
+				t.Fatalf("HalfNode mismatch at node %d port %d: got %d", v, p, got)
+			}
+			if got := g.HalfPort(h); got != int32(p) {
+				t.Fatalf("HalfPort mismatch at node %d port %d: got %d", v, p, got)
+			}
+		}
+	}
+}
+
+func TestBFSAndBall(t *testing.T) {
+	g, err := NewPath(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the path endpoints: nodes of degree 1.
+	var end NodeID = -1
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Degree(v) == 1 {
+			end = v
+			break
+		}
+	}
+	dist := g.BFSFrom(end, -1)
+	if len(dist) != 10 {
+		t.Fatalf("BFS reached %d nodes, want 10", len(dist))
+	}
+	maxD := 0
+	for _, d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD != 9 {
+		t.Fatalf("path eccentricity from end = %d, want 9", maxD)
+	}
+	ball := g.BallAround(end, 3)
+	if len(ball.Dist) != 4 {
+		t.Fatalf("radius-3 ball on path has %d nodes, want 4", len(ball.Dist))
+	}
+	if len(ball.Edges) != 3 {
+		t.Fatalf("radius-3 ball on path has %d edges, want 3", len(ball.Edges))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g1, _ := NewCycle(5, 1)
+	g2, _ := NewPath(4, 2)
+	g, maps, err := DisjointUnion(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, lookup := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if lookup[maps[0][0]] == lookup[maps[1][0]] {
+		t.Error("nodes from different parts mapped to same component")
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != 9 {
+		t.Fatalf("component node total = %d, want 9", total)
+	}
+}
+
+func TestShortestCycleThrough(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Graph
+		want  int
+	}{
+		{
+			name: "triangle",
+			build: func() *Graph {
+				b := NewBuilder(3, 3)
+				v0, v1, v2 := b.MustAddNode(1), b.MustAddNode(2), b.MustAddNode(3)
+				b.MustAddEdge(v0, v1)
+				b.MustAddEdge(v1, v2)
+				b.MustAddEdge(v2, v0)
+				return b.MustBuild()
+			},
+			want: 3,
+		},
+		{
+			name: "self-loop",
+			build: func() *Graph {
+				b := NewBuilder(1, 1)
+				v := b.MustAddNode(1)
+				b.MustAddEdge(v, v)
+				return b.MustBuild()
+			},
+			want: 1,
+		},
+		{
+			name: "parallel pair",
+			build: func() *Graph {
+				b := NewBuilder(2, 2)
+				v0, v1 := b.MustAddNode(1), b.MustAddNode(2)
+				b.MustAddEdge(v0, v1)
+				b.MustAddEdge(v0, v1)
+				return b.MustBuild()
+			},
+			want: 2,
+		},
+		{
+			name: "square",
+			build: func() *Graph {
+				g, _ := NewCycle(4, 0)
+				return g
+			},
+			want: 4,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := tt.build()
+			got, ok := g.ShortestCycleThrough(0, -1)
+			if !ok || got != tt.want {
+				t.Fatalf("ShortestCycleThrough = (%d, %v), want (%d, true)", got, ok, tt.want)
+			}
+		})
+	}
+}
+
+func TestShortestCycleThroughTree(t *testing.T) {
+	g, err := NewCompleteBinaryTree(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.ShortestCycleThrough(0, -1); ok {
+		t.Error("tree should have no cycle")
+	}
+}
+
+func TestCyclePotentialOnLollipop(t *testing.T) {
+	// Triangle with a tail of length 4: tail node at distance k from the
+	// triangle has t = k + 3.
+	b := NewBuilder(7, 7)
+	nodes := make([]NodeID, 7)
+	for i := range nodes {
+		nodes[i] = b.MustAddNode(int64(i + 1))
+	}
+	b.MustAddEdge(nodes[0], nodes[1])
+	b.MustAddEdge(nodes[1], nodes[2])
+	b.MustAddEdge(nodes[2], nodes[0])
+	b.MustAddEdge(nodes[0], nodes[3])
+	b.MustAddEdge(nodes[3], nodes[4])
+	b.MustAddEdge(nodes[4], nodes[5])
+	b.MustAddEdge(nodes[5], nodes[6])
+	g := b.MustBuild()
+	pot := g.CyclePotential(-1)
+	want := []int{3, 3, 3, 4, 5, 6, 7}
+	for i, w := range want {
+		if pot[nodes[i]] != w {
+			t.Errorf("t(node %d) = %d, want %d", i, pot[nodes[i]], w)
+		}
+	}
+}
+
+func TestCyclePotentialTree(t *testing.T) {
+	g, _ := NewCompleteBinaryTree(3, 0)
+	pot := g.CyclePotential(-1)
+	for v, p := range pot {
+		if p != Unreachable {
+			t.Fatalf("tree node %d has finite potential %d", v, p)
+		}
+	}
+}
+
+func TestCanonicalShortestCycleConsistency(t *testing.T) {
+	// On any graph, two adjacent nodes whose shortest cycles share the
+	// connecting edge and have equal length must canonicalize to the same
+	// cycle. Exercise on a random regular graph by checking that the
+	// canonical form is orientation/rotation independent.
+	g, err := NewRandomRegular(30, 3, 11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		l, ok := g.ShortestCycleThrough(v, -1)
+		if !ok {
+			continue
+		}
+		c, err := g.CanonicalShortestCycleThrough(v, l, 100000)
+		if err != nil {
+			t.Fatalf("canonical cycle at %d: %v", v, err)
+		}
+		if c.Len() != l {
+			t.Fatalf("canonical cycle length = %d, want %d", c.Len(), l)
+		}
+		// Canonical form must be a fixed point.
+		again := c.Canonicalize(g)
+		if len(again.Walk) != len(c.Walk) {
+			t.Fatal("canonicalize changed length")
+		}
+		for i := range c.Walk {
+			if again.Walk[i] != c.Walk[i] {
+				t.Fatalf("canonicalize not idempotent at %d", v)
+			}
+		}
+		// The walk must be a closed trail: consecutive halves connect.
+		for i := range c.Walk {
+			next := c.Walk[(i+1)%len(c.Walk)]
+			arrive := g.Edge(c.Walk[i].Edge).Other(c.Walk[i].Side).Node
+			depart := g.HalfNode(next)
+			if arrive != depart {
+				t.Fatalf("walk broken at step %d: arrive %d depart %d", i, arrive, depart)
+			}
+		}
+	}
+}
+
+func TestBitrevTreeProperties(t *testing.T) {
+	g, err := NewBitrevTree(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 63 {
+		t.Fatalf("nodes = %d, want 63", g.NumNodes())
+	}
+	// Degrees: root 2, interior 3, leaves 3.
+	deg1 := 0
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		d := g.Degree(v)
+		if d < 2 || d > 4 {
+			t.Fatalf("node %d degree %d out of expected range", v, d)
+		}
+		if d == 1 {
+			deg1++
+		}
+	}
+	comps, _ := g.Components()
+	if len(comps) != 1 {
+		t.Fatalf("bitrev tree should be connected, got %d components", len(comps))
+	}
+	// The root region should be far from every cycle: potential grows
+	// with height.
+	pot := g.CyclePotential(-1)
+	maxPot := 0
+	for _, p := range pot {
+		if p > maxPot {
+			maxPot = p
+		}
+	}
+	if maxPot < 6 {
+		t.Errorf("max cycle potential = %d; want >= height for the hard family", maxPot)
+	}
+}
+
+func TestRandomRegularDegrees(t *testing.T) {
+	g, err := NewRandomRegular(50, 3, 42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("node %d degree = %d, want 3", v, g.Degree(v))
+		}
+	}
+	if err := VerifyDistance2Coloring(g, mustD2(t, g)); err != nil {
+		t.Fatalf("distance-2 coloring invalid: %v", err)
+	}
+}
+
+func mustD2(t *testing.T, g *Graph) []int {
+	t.Helper()
+	c, err := Distance2Coloring(g)
+	if err != nil {
+		t.Fatalf("distance-2 coloring: %v", err)
+	}
+	return c
+}
+
+func TestDistance2ColoringRejectsMultigraph(t *testing.T) {
+	b := NewBuilder(2, 2)
+	v0, v1 := b.MustAddNode(1), b.MustAddNode(2)
+	b.MustAddEdge(v0, v1)
+	b.MustAddEdge(v0, v1)
+	g := b.MustBuild()
+	if _, err := Distance2Coloring(g); err == nil {
+		t.Error("coloring of parallel edges should fail")
+	}
+
+	b2 := NewBuilder(1, 1)
+	v := b2.MustAddNode(1)
+	b2.MustAddEdge(v, v)
+	g2 := b2.MustBuild()
+	if _, err := Distance2Coloring(g2); err == nil {
+		t.Error("coloring of self-loop should fail")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g, err := NewTorus(4, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 || g.NumEdges() != 40 {
+		t.Fatalf("torus size = (%d nodes, %d edges), want (20, 40)", g.NumNodes(), g.NumEdges())
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus node %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, _ := NewCycle(3, 0)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, DOTOptions{Name: "c3"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph \"c3\"") || !strings.Contains(out, "--") {
+		t.Errorf("unexpected DOT output:\n%s", out)
+	}
+}
+
+// Property: on random multigraphs, the cycle potential is 1-Lipschitz
+// along edges and lower-bounded by the girth through the node.
+func TestCyclePotentialLipschitzProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(20)
+		g, err := NewRandomRegular(n+(n%2), 3, seed, false)
+		if err != nil {
+			return true
+		}
+		pot := g.CyclePotential(-1)
+		for e := EdgeID(0); int(e) < g.NumEdges(); e++ {
+			ed := g.Edge(e)
+			a, b := pot[ed.U.Node], pot[ed.V.Node]
+			if a >= Unreachable || b >= Unreachable {
+				continue
+			}
+			if a-b > 1 || b-a > 1 {
+				return false
+			}
+		}
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			sc, ok := g.ShortestCycleThrough(v, -1)
+			if !ok {
+				continue
+			}
+			if pot[v] > sc {
+				return false // t(v) <= sc(v) always
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ball membership matches BFS distance.
+func TestBallMatchesBFSProperty(t *testing.T) {
+	f := func(seed int64, radius uint8) bool {
+		r := int(radius % 5)
+		g, err := NewRandomRegular(20, 3, seed, false)
+		if err != nil {
+			return true
+		}
+		ball := g.BallAround(3, r)
+		dist := g.BFSFrom(3, -1)
+		for v, d := range dist {
+			in := ball.Contains(v)
+			if (d <= r) != in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

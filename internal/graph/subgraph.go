@@ -1,0 +1,59 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph extracts the subgraph induced by the given node set,
+// preserving identifiers and the relative port order at every node. It
+// returns the subgraph plus translation tables: toSub[origNode] is the
+// new NodeID (-1 if absent) and edgeOf[subEdge] the original EdgeID.
+//
+// This is the formal content of "a node's view": a radius-r ball,
+// extracted with InducedSubgraph, is exactly the information available to
+// a node after r rounds, and algorithms whose decisions are functions of
+// such views are LOCAL algorithms. The sinkless package's tests
+// cross-validate its solver against ball-local recomputation through this
+// helper.
+func InducedSubgraph(g *Graph, keep map[NodeID]bool) (*Graph, []NodeID, []EdgeID, error) {
+	toSub := make([]NodeID, g.NumNodes())
+	for i := range toSub {
+		toSub[i] = -1
+	}
+	b := NewBuilder(len(keep), len(keep)*3)
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if !keep[v] {
+			continue
+		}
+		nv, err := b.AddNode(g.ID(v))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("induced subgraph: %w", err)
+		}
+		toSub[v] = nv
+	}
+	var edgeOf []EdgeID
+	for e := EdgeID(0); int(e) < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		u, v := toSub[ed.U.Node], toSub[ed.V.Node]
+		if u < 0 || v < 0 {
+			continue
+		}
+		if _, err := b.AddEdge(u, v); err != nil {
+			return nil, nil, nil, fmt.Errorf("induced subgraph: %w", err)
+		}
+		edgeOf = append(edgeOf, e)
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("induced subgraph: %w", err)
+	}
+	return sub, toSub, edgeOf, nil
+}
+
+// BallSubgraph extracts the induced radius-r ball around v.
+func BallSubgraph(g *Graph, v NodeID, radius int) (*Graph, []NodeID, []EdgeID, error) {
+	dist := g.BFSFrom(v, radius)
+	keep := make(map[NodeID]bool, len(dist))
+	for u := range dist {
+		keep[u] = true
+	}
+	return InducedSubgraph(g, keep)
+}

@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraphBasics(t *testing.T) {
+	g, err := NewRandomRegular(30, 3, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := map[NodeID]bool{}
+	for v := NodeID(0); v < 10; v++ {
+		keep[v] = true
+	}
+	sub, toSub, edgeOf, err := InducedSubgraph(g, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 10 {
+		t.Fatalf("sub nodes = %d, want 10", sub.NumNodes())
+	}
+	// Identifiers preserved.
+	for v := NodeID(0); v < 10; v++ {
+		if sub.ID(toSub[v]) != g.ID(v) {
+			t.Fatalf("identifier mismatch at %d", v)
+		}
+	}
+	// Every sub edge maps to an original edge with the same endpoints.
+	for e := EdgeID(0); int(e) < sub.NumEdges(); e++ {
+		orig := g.Edge(edgeOf[e])
+		se := sub.Edge(e)
+		if toSub[orig.U.Node] != se.U.Node || toSub[orig.V.Node] != se.V.Node {
+			t.Fatalf("edge %d endpoint mismatch", e)
+		}
+	}
+	// Excluded nodes map to -1.
+	if toSub[20] != -1 {
+		t.Error("excluded node mapped")
+	}
+}
+
+func TestInducedSubgraphPortOrder(t *testing.T) {
+	// The relative port order at surviving nodes must be preserved.
+	g, err := NewRandomRegular(20, 4, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := map[NodeID]bool{}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		keep[v] = true // full copy: port order must be identical
+	}
+	sub, toSub, edgeOf, err := InducedSubgraph(g, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		sh := sub.Halves(toSub[v])
+		gh := g.Halves(v)
+		if len(sh) != len(gh) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for p := range gh {
+			if edgeOf[sh[p].Edge] != gh[p].Edge {
+				t.Fatalf("port %d of node %d reordered", p, v)
+			}
+		}
+	}
+}
+
+func TestBallSubgraph(t *testing.T) {
+	g, err := NewCycle(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, toSub, _, err := BallSubgraph(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 7 {
+		t.Fatalf("radius-3 ball on cycle: %d nodes, want 7", sub.NumNodes())
+	}
+	if sub.NumEdges() != 6 {
+		t.Fatalf("radius-3 ball on cycle: %d edges, want 6", sub.NumEdges())
+	}
+	if toSub[0] < 0 {
+		t.Error("center not in ball")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, build := range []func() (*Graph, error){
+		func() (*Graph, error) { return NewCycle(9, 1) },
+		func() (*Graph, error) { return NewRandomRegular(24, 3, 7, false) },
+		func() (*Graph, error) { return NewBitrevTree(5, 2) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(g, got) {
+			t.Fatal("round trip changed the graph")
+		}
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"graph x y",
+		"graph 2 1\nnode 0 1\n",             // truncated
+		"graph 1 0\nnode 0 0\n",             // non-positive id
+		"graph 1 1\nnode 0 1\nedge 0 0 9\n", // edge out of range
+		"graph 2 0\nnode 0 5\nnode 1 5\n",   // duplicate id
+		"graph 1 0\nnodule 0 1\n",           // bad keyword
+		"graph 2 1\nnode 0 1\nnode 1 2\nedge 7 0 1\n",    // bad edge index
+		"graph 2 1\nnode 0 1\nnode 1 2\nedge 0 zero 1\n", // bad number
+	} {
+		if _, err := ReadText(strings.NewReader(bad)); err == nil {
+			t.Errorf("garbage %q accepted", bad)
+		}
+	}
+}
+
+// Property: serialization round-trips arbitrary random multigraphs.
+func TestSerializeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 4 + int(uint64(seed)%30)
+		if n%2 == 1 {
+			n++
+		}
+		g, err := NewRandomRegular(n, 3, seed, false)
+		if err != nil {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		return Equal(g, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WLColors runs r rounds of Weisfeiler-Leman color refinement (degree
+// seeded, identifiers ignored) and returns the color class of each node
+// plus the number of distinct classes.
+//
+// Two nodes with equal WL color at round r have radius-r views that no
+// identifier-oblivious algorithm can distinguish. The number of classes
+// at radius r is therefore an empirical witness for locality lower
+// bounds: while it stays (near) constant, *every* algorithm must rely on
+// identifiers or randomness to break the symmetry — the mechanism behind
+// the paper's Θ(log n) deterministic lower bound for sinkless
+// orientation, whose hard instances look locally identical out to radius
+// Ω(log n).
+func WLColors(g *Graph, rounds int) ([]int, int) {
+	n := g.NumNodes()
+	colors := make([]int, n)
+	for v := 0; v < n; v++ {
+		colors[v] = g.Degree(NodeID(v))
+	}
+	colors, k := canonicalize(colors)
+	for r := 0; r < rounds; r++ {
+		next := make([]string, n)
+		for v := 0; v < n; v++ {
+			nbr := make([]int, 0, g.Degree(NodeID(v)))
+			for _, h := range g.Halves(NodeID(v)) {
+				u := g.Edge(h.Edge).Other(h.Side).Node
+				nbr = append(nbr, colors[u])
+			}
+			sort.Ints(nbr)
+			var b strings.Builder
+			b.WriteString(strconv.Itoa(colors[v]))
+			for _, c := range nbr {
+				b.WriteByte('|')
+				b.WriteString(strconv.Itoa(c))
+			}
+			next[v] = b.String()
+		}
+		colors, k = canonicalizeStrings(next)
+	}
+	return colors, k
+}
+
+// canonicalize renumbers arbitrary ints densely from 0.
+func canonicalize(raw []int) ([]int, int) {
+	ids := make(map[int]int, len(raw))
+	out := make([]int, len(raw))
+	for i, c := range raw {
+		id, ok := ids[c]
+		if !ok {
+			id = len(ids)
+			ids[c] = id
+		}
+		out[i] = id
+	}
+	return out, len(ids)
+}
+
+// canonicalizeStrings renumbers string signatures densely from 0.
+func canonicalizeStrings(raw []string) ([]int, int) {
+	ids := make(map[string]int, len(raw))
+	out := make([]int, len(raw))
+	for i, c := range raw {
+		id, ok := ids[c]
+		if !ok {
+			id = len(ids)
+			ids[c] = id
+		}
+		out[i] = id
+	}
+	return out, len(ids)
+}
+
+// WLClassCounts sweeps rounds 0..maxRounds and reports the number of WL
+// classes at each radius — the view-indistinguishability profile.
+func WLClassCounts(g *Graph, maxRounds int) []int {
+	counts := make([]int, maxRounds+1)
+	for r := 0; r <= maxRounds; r++ {
+		_, k := WLColors(g, r)
+		counts[r] = k
+	}
+	return counts
+}

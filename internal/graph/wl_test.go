@@ -1,0 +1,78 @@
+package graph
+
+import "testing"
+
+func TestWLColorsOnCycle(t *testing.T) {
+	// A cycle is vertex-transitive: one WL class at every radius.
+	g, err := NewCycle(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= 5; r++ {
+		_, k := WLColors(g, r)
+		if k != 1 {
+			t.Fatalf("cycle WL classes at r=%d: %d, want 1", r, k)
+		}
+	}
+}
+
+func TestWLColorsOnPath(t *testing.T) {
+	// A path refines from its ends: classes grow with radius until they
+	// count distances-to-end.
+	g, err := NewPath(11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k0 := WLColors(g, 0)
+	if k0 != 2 {
+		t.Fatalf("path degree classes = %d, want 2", k0)
+	}
+	_, k5 := WLColors(g, 5)
+	if k5 <= k0 {
+		t.Fatalf("path classes did not refine: %d -> %d", k0, k5)
+	}
+}
+
+func TestWLMonotone(t *testing.T) {
+	g, err := NewBitrevTree(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := WLClassCounts(g, 8)
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("WL class counts not monotone: %v", counts)
+		}
+	}
+}
+
+func TestWLDistinguishesDegrees(t *testing.T) {
+	// Star graph: center vs leaves split immediately.
+	b := NewBuilder(5, 4)
+	c := b.MustAddNode(1)
+	for i := 0; i < 4; i++ {
+		leaf := b.MustAddNode(int64(i + 2))
+		b.MustAddEdge(c, leaf)
+	}
+	g := b.MustBuild()
+	colors, k := WLColors(g, 0)
+	if k != 2 {
+		t.Fatalf("star classes = %d, want 2", k)
+	}
+	if colors[c] == colors[1] {
+		t.Error("center and leaf share a class")
+	}
+}
+
+func TestWLHardFamilyStaysSymmetricLocally(t *testing.T) {
+	// The lower-bound witness: on the bitrev tree the class count at
+	// small radius is far below n.
+	g, err := NewBitrevTree(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k2 := WLColors(g, 2)
+	if k2*4 > g.NumNodes() {
+		t.Fatalf("radius-2 classes = %d of n=%d; hard family should look locally symmetric", k2, g.NumNodes())
+	}
+}

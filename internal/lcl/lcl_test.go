@@ -1,0 +1,135 @@
+package lcl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"locallab/internal/graph"
+)
+
+// parityProblem is a toy ne-LCL for exercising the checker plumbing:
+// every node must output "even" or "odd" matching its degree's parity,
+// and adjacent nodes of equal parity must label their shared edge "same".
+type parityProblem struct{}
+
+func (parityProblem) Name() string { return "parity" }
+
+func (parityProblem) CheckNode(g *graph.Graph, in, out *Labeling, v graph.NodeID) error {
+	want := Label("even")
+	if g.Degree(v)%2 == 1 {
+		want = "odd"
+	}
+	if out.Node[v] != want {
+		return Violation("parity", "node", int(v), "got %q, want %q", out.Node[v], want)
+	}
+	return nil
+}
+
+func (parityProblem) CheckEdge(g *graph.Graph, in, out *Labeling, e graph.EdgeID) error {
+	ed := g.Edge(e)
+	same := out.Node[ed.U.Node] == out.Node[ed.V.Node]
+	if same && out.Edge[e] != "same" {
+		return Violation("parity", "edge", int(e), "equal endpoints but edge labeled %q", out.Edge[e])
+	}
+	return nil
+}
+
+func solveParity(g *graph.Graph) *Labeling {
+	out := NewLabeling(g)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Degree(v)%2 == 1 {
+			out.Node[v] = "odd"
+		} else {
+			out.Node[v] = "even"
+		}
+	}
+	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		if out.Node[ed.U.Node] == out.Node[ed.V.Node] {
+			out.Edge[e] = "same"
+		}
+	}
+	return out
+}
+
+func TestVerifyAcceptsAndRejects(t *testing.T) {
+	g, err := graph.NewCycle(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewLabeling(g)
+	out := solveParity(g)
+	if err := Verify(g, parityProblem{}, in, out); err != nil {
+		t.Fatalf("valid solution rejected: %v", err)
+	}
+	bad := out.Clone()
+	bad.Node[0] = "odd"
+	err = Verify(g, parityProblem{}, in, bad)
+	if err == nil {
+		t.Fatal("node violation accepted")
+	}
+	var v *ViolationError
+	if !errors.As(err, &v) {
+		t.Fatalf("error type %T, want *ViolationError", err)
+	}
+	if v.Where != "node" || v.Index != 0 {
+		t.Errorf("violation at %s %d, want node 0", v.Where, v.Index)
+	}
+	bad2 := out.Clone()
+	bad2.Edge[0] = "different"
+	if err := Verify(g, parityProblem{}, in, bad2); err == nil {
+		t.Fatal("edge violation accepted")
+	}
+}
+
+func TestVerifyShapeChecks(t *testing.T) {
+	g, _ := graph.NewCycle(4, 0)
+	in := NewLabeling(g)
+	if err := Verify(g, parityProblem{}, in, nil); err == nil {
+		t.Error("nil output accepted")
+	}
+	other, _ := graph.NewCycle(9, 0)
+	wrong := NewLabeling(other)
+	if err := Verify(g, parityProblem{}, in, wrong); err == nil {
+		t.Error("mis-shaped output accepted")
+	}
+	if err := Verify(g, parityProblem{}, wrong, solveParity(g)); err == nil {
+		t.Error("mis-shaped input accepted")
+	}
+}
+
+func TestLabelingCloneIndependence(t *testing.T) {
+	g, _ := graph.NewCycle(3, 0)
+	a := NewLabeling(g)
+	a.Node[0] = "x"
+	a.Edge[1] = "y"
+	a.SetHalf(graph.Half{Edge: 0, Side: graph.SideU}, "z")
+	b := a.Clone()
+	b.Node[0] = "changed"
+	b.Edge[1] = "changed"
+	b.SetHalf(graph.Half{Edge: 0, Side: graph.SideU}, "changed")
+	if a.Node[0] != "x" || a.Edge[1] != "y" || a.HalfOf(graph.Half{Edge: 0, Side: graph.SideU}) != "z" {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestViolationErrorMessage(t *testing.T) {
+	err := Violation("p", "edge", 7, "reason %d", 42)
+	if !strings.Contains(err.Error(), "edge 7") || !strings.Contains(err.Error(), "reason 42") {
+		t.Errorf("unexpected message %q", err.Error())
+	}
+}
+
+func TestHalfLabelAccessors(t *testing.T) {
+	g, _ := graph.NewCycle(3, 0)
+	l := NewLabeling(g)
+	h := graph.Half{Edge: 2, Side: graph.SideV}
+	l.SetHalf(h, "v-side")
+	if got := l.HalfOf(h); got != "v-side" {
+		t.Errorf("HalfOf = %q", got)
+	}
+	if got := l.HalfOf(graph.Half{Edge: 2, Side: graph.SideU}); got != "" {
+		t.Errorf("other side polluted: %q", got)
+	}
+}

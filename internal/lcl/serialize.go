@@ -1,0 +1,144 @@
+package lcl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"locallab/internal/graph"
+)
+
+// WriteText serializes a labeling in a line-oriented format compatible
+// with graph.WriteText, so instances and solutions can be archived and
+// replayed together:
+//
+//	labeling <n> <m>
+//	nlab <index> <quoted label>     (empty labels omitted)
+//	elab <index> <quoted label>
+//	hlab <index> <quoted label>
+func WriteText(w io.Writer, l *Labeling) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "labeling %d %d\n", len(l.Node), len(l.Edge)); err != nil {
+		return fmt.Errorf("write labeling: %w", err)
+	}
+	emit := func(kind string, idx int, lab Label) error {
+		if lab == "" {
+			return nil
+		}
+		_, err := fmt.Fprintf(bw, "%s %d %s\n", kind, idx, strconv.Quote(string(lab)))
+		return err
+	}
+	for i, lab := range l.Node {
+		if err := emit("nlab", i, lab); err != nil {
+			return fmt.Errorf("write labeling: %w", err)
+		}
+	}
+	for i, lab := range l.Edge {
+		if err := emit("elab", i, lab); err != nil {
+			return fmt.Errorf("write labeling: %w", err)
+		}
+	}
+	for i, lab := range l.Half {
+		if err := emit("hlab", i, lab); err != nil {
+			return fmt.Errorf("write labeling: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("write labeling: %w", err)
+	}
+	return nil
+}
+
+// ReadText parses the WriteText format; g supplies the expected shape.
+func ReadText(r io.Reader, g *graph.Graph) (*Labeling, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("read labeling: empty input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(sc.Text(), "labeling %d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("read labeling header %q: %w", sc.Text(), err)
+	}
+	if n != g.NumNodes() || m != g.NumEdges() {
+		return nil, fmt.Errorf("read labeling: shape (%d,%d) does not match graph (%d,%d)",
+			n, m, g.NumNodes(), g.NumEdges())
+	}
+	l := NewLabeling(g)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var kind string
+		var idx int
+		rest := ""
+		sp1 := strings.IndexByte(line, ' ')
+		if sp1 < 0 {
+			return nil, fmt.Errorf("read labeling: bad line %q", line)
+		}
+		kind = line[:sp1]
+		sp2 := strings.IndexByte(line[sp1+1:], ' ')
+		if sp2 < 0 {
+			return nil, fmt.Errorf("read labeling: bad line %q", line)
+		}
+		var err error
+		idx, err = strconv.Atoi(line[sp1+1 : sp1+1+sp2])
+		if err != nil {
+			return nil, fmt.Errorf("read labeling: bad index in %q", line)
+		}
+		rest = line[sp1+sp2+2:]
+		lab, err := strconv.Unquote(rest)
+		if err != nil {
+			return nil, fmt.Errorf("read labeling: bad label in %q: %w", line, err)
+		}
+		switch kind {
+		case "nlab":
+			if idx < 0 || idx >= len(l.Node) {
+				return nil, fmt.Errorf("read labeling: node index %d out of range", idx)
+			}
+			l.Node[idx] = Label(lab)
+		case "elab":
+			if idx < 0 || idx >= len(l.Edge) {
+				return nil, fmt.Errorf("read labeling: edge index %d out of range", idx)
+			}
+			l.Edge[idx] = Label(lab)
+		case "hlab":
+			if idx < 0 || idx >= len(l.Half) {
+				return nil, fmt.Errorf("read labeling: half index %d out of range", idx)
+			}
+			l.Half[idx] = Label(lab)
+		default:
+			return nil, fmt.Errorf("read labeling: unknown kind %q", kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read labeling: %w", err)
+	}
+	return l, nil
+}
+
+// Equal reports whether two labelings agree everywhere.
+func Equal(a, b *Labeling) bool {
+	if len(a.Node) != len(b.Node) || len(a.Edge) != len(b.Edge) || len(a.Half) != len(b.Half) {
+		return false
+	}
+	for i := range a.Node {
+		if a.Node[i] != b.Node[i] {
+			return false
+		}
+	}
+	for i := range a.Edge {
+		if a.Edge[i] != b.Edge[i] {
+			return false
+		}
+	}
+	for i := range a.Half {
+		if a.Half[i] != b.Half[i] {
+			return false
+		}
+	}
+	return true
+}

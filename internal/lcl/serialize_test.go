@@ -1,0 +1,65 @@
+package lcl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"locallab/internal/graph"
+)
+
+func TestLabelingSerializeRoundTrip(t *testing.T) {
+	g, err := graph.NewRandomRegular(12, 3, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLabeling(g)
+	l.Node[0] = "plain"
+	l.Node[3] = `with "quotes" and | pipes`
+	l.Edge[1] = "e"
+	l.SetHalf(graph.Half{Edge: 2, Side: graph.SideV}, "half label with spaces")
+	var buf bytes.Buffer
+	if err := WriteText(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(l, got) {
+		t.Fatal("labeling round trip changed content")
+	}
+}
+
+func TestLabelingReadRejects(t *testing.T) {
+	g, _ := graph.NewCycle(3, 0)
+	for _, bad := range []string{
+		"",
+		"labeling 9 9",               // wrong shape
+		"labeling 3 3\nnlab x \"a\"", // bad index
+		"labeling 3 3\nnlab 99 \"a\"",
+		"labeling 3 3\nxlab 0 \"a\"",
+		"labeling 3 3\nnlab 0 unquoted",
+		"labeling 3 3\ngarbage",
+	} {
+		if _, err := ReadText(strings.NewReader(bad), g); err == nil {
+			t.Errorf("garbage %q accepted", bad)
+		}
+	}
+}
+
+func TestLabelingEqual(t *testing.T) {
+	g, _ := graph.NewCycle(4, 1)
+	a, b := NewLabeling(g), NewLabeling(g)
+	if !Equal(a, b) {
+		t.Fatal("empty labelings differ")
+	}
+	b.Node[2] = "x"
+	if Equal(a, b) {
+		t.Fatal("differing labelings equal")
+	}
+	other, _ := graph.NewCycle(5, 1)
+	if Equal(a, NewLabeling(other)) {
+		t.Fatal("differently shaped labelings equal")
+	}
+}

@@ -1,0 +1,213 @@
+// Package local implements the LOCAL model of distributed computing
+// (Section 2 of the paper) in its two equivalent formulations:
+//
+//  1. Synchronous message passing: computation proceeds in rounds; in each
+//     round every node sends a message through each port, receives the
+//     messages of its neighbors, and updates its state. Run drives one
+//     goroutine per node with a barrier between rounds.
+//  2. View gathering: a T-round algorithm is equivalent to every node
+//     gathering its radius-T neighborhood and mapping the view to an
+//     output. Cost and the gather helpers account rounds in this
+//     formulation; solvers in this repository charge the maximal radius
+//     they inspect, which is their round complexity.
+//
+// Randomized algorithms draw per-node randomness from DeriveRNG, so entire
+// executions are reproducible from a single master seed.
+package local
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"locallab/internal/graph"
+)
+
+// Cost accumulates the locality charged by a solver: for each node, the
+// largest radius whose ball the node inspected. In the LOCAL model this
+// equals the number of communication rounds the node needs.
+type Cost struct {
+	radius []int
+}
+
+// NewCost creates a Cost tracker for n nodes.
+func NewCost(n int) *Cost { return &Cost{radius: make([]int, n)} }
+
+// Charge records that node v inspected radius r; charges are monotone.
+func (c *Cost) Charge(v graph.NodeID, r int) {
+	if r > c.radius[v] {
+		c.radius[v] = r
+	}
+}
+
+// Radius returns the charged radius of node v.
+func (c *Cost) Radius(v graph.NodeID) int { return c.radius[v] }
+
+// Rounds returns the round complexity of the execution: the maximum
+// charged radius over all nodes.
+func (c *Cost) Rounds() int {
+	m := 0
+	for _, r := range c.radius {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Merge folds another cost tracker into this one (max per node).
+func (c *Cost) Merge(o *Cost) {
+	for v, r := range o.radius {
+		if r > c.radius[v] {
+			c.radius[v] = r
+		}
+	}
+}
+
+// Histogram returns how many nodes were charged each radius value.
+func (c *Cost) Histogram() map[int]int {
+	h := make(map[int]int)
+	for _, r := range c.radius {
+		h[r]++
+	}
+	return h
+}
+
+// DeriveRNG returns the private random source of the node with the given
+// identifier under the given master seed. SplitMix64 scrambling keeps
+// per-node streams decorrelated.
+func DeriveRNG(masterSeed, nodeIdentifier int64) *rand.Rand {
+	z := uint64(masterSeed) + 0x9e3779b97f4a7c15*uint64(nodeIdentifier+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// AdaptiveRadius drives the standard doubling schedule of view-gathering
+// algorithms: it presents balls of radius 1, 2, 4, ... to decide until it
+// accepts one, and returns the final radius (the node's charged locality).
+// decide must be monotone: once it accepts a ball it would accept any
+// larger one.
+func AdaptiveRadius(g *graph.Graph, v graph.NodeID, maxRadius int, decide func(*graph.Ball) bool) (int, error) {
+	for r := 1; ; r *= 2 {
+		if r > maxRadius {
+			r = maxRadius
+		}
+		ball := g.BallAround(v, r)
+		if decide(ball) {
+			return r, nil
+		}
+		if r >= maxRadius {
+			return r, fmt.Errorf("adaptive radius: node %d undecided at max radius %d", v, maxRadius)
+		}
+	}
+}
+
+// Message is an opaque payload exchanged between neighbors. Implementations
+// may send nil to stay silent on a port.
+type Message interface{}
+
+// NodeInfo is the initial knowledge of a node per the model: the global
+// bounds n and Δ, its own identifier and degree, and a private random
+// source (nil for deterministic machines).
+type NodeInfo struct {
+	N      int
+	Delta  int
+	ID     int64
+	Degree int
+	RNG    *rand.Rand
+}
+
+// Machine is the per-node program of a synchronous message-passing
+// algorithm.
+type Machine interface {
+	// Init resets the machine with the node's initial knowledge.
+	Init(info NodeInfo)
+	// Round consumes the messages received on each port (recv[p] is the
+	// message from port p's neighbor, nil in round 0 or when silent) and
+	// returns the messages to send per port plus whether this node has
+	// terminated with its final state.
+	Round(recv []Message) (send []Message, done bool)
+}
+
+// ErrRoundLimit is returned by Run when machines do not all terminate
+// within the round budget.
+var ErrRoundLimit = errors.New("round limit exceeded")
+
+// Run executes machines synchronously on g until every machine reports
+// done, or maxRounds is exceeded. It returns the number of executed
+// rounds. One goroutine per node runs each round, mirroring the
+// "goroutines map naturally to synchronous message rounds" structure of
+// the simulator.
+func Run(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	n := g.NumNodes()
+	if len(machines) != n {
+		return 0, fmt.Errorf("run: %d machines for %d nodes", len(machines), n)
+	}
+	delta := g.MaxDegree()
+	for v := 0; v < n; v++ {
+		var rng *rand.Rand
+		if randomized {
+			rng = DeriveRNG(masterSeed, g.ID(graph.NodeID(v)))
+		}
+		machines[v].Init(NodeInfo{
+			N:      n,
+			Delta:  delta,
+			ID:     g.ID(graph.NodeID(v)),
+			Degree: g.Degree(graph.NodeID(v)),
+			RNG:    rng,
+		})
+	}
+	// inbox[v][p] is the message arriving at port p of node v.
+	inbox := make([][]Message, n)
+	outbox := make([][]Message, n)
+	done := make([]bool, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]Message, g.Degree(graph.NodeID(v)))
+	}
+	for round := 1; round <= maxRounds; round++ {
+		var wg sync.WaitGroup
+		for v := 0; v < n; v++ {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				send, fin := machines[v].Round(inbox[v])
+				outbox[v] = send
+				done[v] = fin
+			}(v)
+		}
+		wg.Wait()
+		allDone := true
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				allDone = false
+			}
+		}
+		if allDone {
+			return round, nil
+		}
+		// Deliver: the message sent on a half-edge arrives at the
+		// opposite half's port.
+		for v := 0; v < n; v++ {
+			for p := range inbox[v] {
+				inbox[v][p] = nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			send := outbox[v]
+			for p, msg := range send {
+				if msg == nil {
+					continue
+				}
+				h := g.HalfAt(graph.NodeID(v), int32(p))
+				opp := g.OppositeHalf(h)
+				u := g.HalfNode(opp)
+				q := g.HalfPort(opp)
+				inbox[u][q] = msg
+			}
+		}
+	}
+	return maxRounds, ErrRoundLimit
+}

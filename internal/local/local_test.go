@@ -1,0 +1,147 @@
+package local
+
+import (
+	"testing"
+
+	"locallab/internal/graph"
+)
+
+// floodMachine floods the maximum identifier; all nodes learn it in
+// eccentricity-many rounds. Used to validate the synchronous runtime.
+type floodMachine struct {
+	best   int64
+	degree int
+	target int64
+	known  bool
+}
+
+func (m *floodMachine) Init(info NodeInfo) {
+	m.best = info.ID
+	m.degree = info.Degree
+	m.known = false
+}
+
+func (m *floodMachine) Round(recv []Message) ([]Message, bool) {
+	changed := false
+	for _, r := range recv {
+		if r == nil {
+			continue
+		}
+		v := r.(int64)
+		if v > m.best {
+			m.best = v
+			changed = true
+		}
+	}
+	send := make([]Message, m.degree)
+	for p := range send {
+		send[p] = m.best
+	}
+	// Terminate when the value equals the known global target.
+	if m.best == m.target {
+		return send, true
+	}
+	_ = changed
+	return send, false
+}
+
+func TestRunFloodsMaxID(t *testing.T) {
+	g, err := graph.NewCycle(11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target int64
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.ID(v) > target {
+			target = g.ID(v)
+		}
+	}
+	machines := make([]Machine, g.NumNodes())
+	for v := range machines {
+		machines[v] = &floodMachine{target: target}
+	}
+	rounds, err := Run(g, machines, 0, false, 100)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// On an 11-cycle the max ID needs at most 6 hops to reach everyone.
+	if rounds > 7 {
+		t.Errorf("flooding took %d rounds, want <= 7", rounds)
+	}
+	for v, m := range machines {
+		if got := m.(*floodMachine).best; got != target {
+			t.Errorf("node %d learned %d, want %d", v, got, target)
+		}
+	}
+}
+
+func TestRunRoundLimit(t *testing.T) {
+	g, _ := graph.NewCycle(5, 0)
+	machines := make([]Machine, g.NumNodes())
+	for v := range machines {
+		machines[v] = &floodMachine{target: -1} // unreachable target: never done
+	}
+	if _, err := Run(g, machines, 0, false, 3); err == nil {
+		t.Fatal("expected round-limit error")
+	}
+}
+
+func TestCost(t *testing.T) {
+	c := NewCost(4)
+	c.Charge(0, 3)
+	c.Charge(0, 1) // monotone: no decrease
+	c.Charge(2, 7)
+	if got := c.Radius(0); got != 3 {
+		t.Errorf("Radius(0) = %d, want 3", got)
+	}
+	if got := c.Rounds(); got != 7 {
+		t.Errorf("Rounds = %d, want 7", got)
+	}
+	o := NewCost(4)
+	o.Charge(1, 9)
+	c.Merge(o)
+	if got := c.Rounds(); got != 9 {
+		t.Errorf("after merge Rounds = %d, want 9", got)
+	}
+	h := c.Histogram()
+	if h[0] != 1 || h[3] != 1 || h[7] != 1 || h[9] != 1 {
+		t.Errorf("unexpected histogram %v", h)
+	}
+}
+
+func TestDeriveRNGDeterminism(t *testing.T) {
+	a := DeriveRNG(42, 7).Int63()
+	b := DeriveRNG(42, 7).Int63()
+	if a != b {
+		t.Error("same seed and id should give identical streams")
+	}
+	c := DeriveRNG(42, 8).Int63()
+	if a == c {
+		t.Error("different node ids should give different streams")
+	}
+	d := DeriveRNG(43, 7).Int63()
+	if a == d {
+		t.Error("different master seeds should give different streams")
+	}
+}
+
+func TestAdaptiveRadius(t *testing.T) {
+	g, err := graph.NewPath(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decide once the ball contains at least 8 nodes.
+	r, err := AdaptiveRadius(g, 10, 64, func(b *graph.Ball) bool {
+		return len(b.Dist) >= 8
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 4 || r > 8 {
+		t.Errorf("adaptive radius = %d, want in [4,8] (doubling schedule)", r)
+	}
+	// Undecidable probe errors out at the cap.
+	if _, err := AdaptiveRadius(g, 0, 4, func(*graph.Ball) bool { return false }); err == nil {
+		t.Error("expected error at max radius")
+	}
+}

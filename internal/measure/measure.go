@@ -1,0 +1,172 @@
+// Package measure provides the experiment harness: size sweeps with
+// repetition, growth-model fitting against the complexity classes of the
+// paper's Figure 1, and plain-text table rendering for EXPERIMENTS.md.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one measured locality: rounds on an instance with N nodes.
+type Point struct {
+	N      int
+	Rounds float64
+}
+
+// Series is a labeled measurement sweep.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Model is a candidate growth class T(n) ≈ c·F(n).
+type Model struct {
+	Name string
+	F    func(n float64) float64
+}
+
+// logStar is the iterated logarithm (base 2).
+func logStar(n float64) float64 {
+	s := 0.0
+	for n > 1 {
+		n = math.Log2(n)
+		s++
+	}
+	return s
+}
+
+// Models lists the growth classes appearing in the paper's landscape
+// (Figure 1), ordered roughly by growth.
+func Models() []Model {
+	log := math.Log2
+	loglog := func(n float64) float64 { return math.Max(1, log(math.Max(2, log(math.Max(2, n))))) }
+	return []Model{
+		{Name: "1", F: func(n float64) float64 { return 1 }},
+		{Name: "log*", F: func(n float64) float64 { return math.Max(1, logStar(n)) }},
+		{Name: "loglog", F: loglog},
+		{Name: "log", F: func(n float64) float64 { return math.Max(1, log(math.Max(2, n))) }},
+		{Name: "log·loglog", F: func(n float64) float64 { return math.Max(1, log(math.Max(2, n))) * loglog(n) }},
+		{Name: "log^2", F: func(n float64) float64 { l := math.Max(1, log(math.Max(2, n))); return l * l }},
+		{Name: "log^2·loglog", F: func(n float64) float64 { l := math.Max(1, log(math.Max(2, n))); return l * l * loglog(n) }},
+		{Name: "log^3", F: func(n float64) float64 { l := math.Max(1, log(math.Max(2, n))); return l * l * l }},
+		{Name: "sqrt", F: func(n float64) float64 { return math.Sqrt(n) }},
+		{Name: "n", F: func(n float64) float64 { return n }},
+	}
+}
+
+// Fit is the result of fitting one model to a series.
+type Fit struct {
+	Model Model
+	// Scale is the least-squares constant c in rounds ≈ c·F(n).
+	Scale float64
+	// RelRMSE is the root-mean-square error relative to the mean rounds.
+	RelRMSE float64
+}
+
+// BestFit fits every model and returns them sorted by relative error
+// (best first). It needs at least two points.
+func BestFit(points []Point) []Fit {
+	fits := make([]Fit, 0, len(Models()))
+	for _, m := range Models() {
+		var num, den float64
+		for _, p := range points {
+			f := m.F(float64(p.N))
+			num += f * p.Rounds
+			den += f * f
+		}
+		if den == 0 {
+			continue
+		}
+		c := num / den
+		var sse, mean float64
+		for _, p := range points {
+			d := p.Rounds - c*m.F(float64(p.N))
+			sse += d * d
+			mean += p.Rounds
+		}
+		mean /= float64(len(points))
+		rel := math.Sqrt(sse/float64(len(points))) / math.Max(mean, 1e-9)
+		fits = append(fits, Fit{Model: m, Scale: c, RelRMSE: rel})
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].RelRMSE < fits[j].RelRMSE })
+	return fits
+}
+
+// GrowthFactor summarizes a series by the ratio of last to first rounds,
+// normalized by the same ratio for a model: ≈1 means the series grows
+// like the model.
+func GrowthFactor(s Series, m Model) float64 {
+	if len(s.Points) < 2 {
+		return math.NaN()
+	}
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	obs := last.Rounds / math.Max(first.Rounds, 1e-9)
+	mod := m.F(float64(last.N)) / math.Max(m.F(float64(first.N)), 1e-9)
+	return obs / mod
+}
+
+// Sweep runs the measurement at each size, averaging rounds over reps
+// seeds.
+func Sweep(label string, sizes []int, reps int, run func(n int, seed int64) (int, error)) (Series, error) {
+	s := Series{Label: label}
+	for _, n := range sizes {
+		total := 0.0
+		for r := 0; r < reps; r++ {
+			rounds, err := run(n, int64(r)*7919+int64(n))
+			if err != nil {
+				return s, fmt.Errorf("sweep %s at n=%d rep %d: %w", label, n, r, err)
+			}
+			total += float64(rounds)
+		}
+		s.Points = append(s.Points, Point{N: n, Rounds: total / float64(reps)})
+	}
+	return s, nil
+}
+
+// Table renders a fixed-width plain-text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatSeries renders a series as "n=..: rounds" pairs.
+func FormatSeries(s Series) string {
+	parts := make([]string, len(s.Points))
+	for i, p := range s.Points {
+		parts[i] = fmt.Sprintf("n=%d:%.1f", p.N, p.Rounds)
+	}
+	return s.Label + " [" + strings.Join(parts, " ") + "]"
+}

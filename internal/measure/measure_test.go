@@ -1,0 +1,110 @@
+package measure
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func synth(model string, sizes []int, scale float64) []Point {
+	var m Model
+	for _, cand := range Models() {
+		if cand.Name == model {
+			m = cand
+		}
+	}
+	pts := make([]Point, len(sizes))
+	for i, n := range sizes {
+		pts[i] = Point{N: n, Rounds: scale * m.F(float64(n))}
+	}
+	return pts
+}
+
+func TestBestFitRecoversModels(t *testing.T) {
+	sizes := []int{64, 256, 1024, 4096, 16384, 65536}
+	for _, name := range []string{"log", "loglog", "log^2", "log·loglog", "n"} {
+		pts := synth(name, sizes, 2.5)
+		fits := BestFit(pts)
+		if fits[0].Model.Name != name {
+			t.Errorf("model %s: best fit = %s (rel %.3f)", name, fits[0].Model.Name, fits[0].RelRMSE)
+		}
+		if math.Abs(fits[0].Scale-2.5) > 0.1 {
+			t.Errorf("model %s: scale = %.2f, want 2.5", name, fits[0].Scale)
+		}
+	}
+}
+
+func TestBestFitSeparatesLogFromLogLog(t *testing.T) {
+	sizes := []int{256, 4096, 65536, 1 << 20}
+	pts := synth("log", sizes, 1)
+	fits := BestFit(pts)
+	var logErr, loglogErr float64
+	for _, f := range fits {
+		switch f.Model.Name {
+		case "log":
+			logErr = f.RelRMSE
+		case "loglog":
+			loglogErr = f.RelRMSE
+		}
+	}
+	if logErr >= loglogErr {
+		t.Errorf("log data fit worse by log (%.3f) than loglog (%.3f)", logErr, loglogErr)
+	}
+}
+
+func TestGrowthFactor(t *testing.T) {
+	s := Series{Points: synth("log", []int{1024, 1 << 20}, 3)}
+	var logModel Model
+	for _, m := range Models() {
+		if m.Name == "log" {
+			logModel = m
+		}
+	}
+	if g := GrowthFactor(s, logModel); math.Abs(g-1) > 1e-9 {
+		t.Errorf("growth factor = %f, want 1", g)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s, err := Sweep("test", []int{10, 20}, 3, func(n int, seed int64) (int, error) {
+		return n + int(seed%2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(s.Points))
+	}
+	if s.Points[0].Rounds < 10 || s.Points[0].Rounds > 11 {
+		t.Errorf("averaged rounds = %f", s.Points[0].Rounds)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"problem", "rounds"}, [][]string{{"sinkless", "12"}, {"trivial", "0"}})
+	if !strings.Contains(out, "problem") || !strings.Contains(out, "sinkless") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	for _, tc := range []struct {
+		n    float64
+		want float64
+	}{{1, 0}, {2, 1}, {4, 2}, {16, 3}, {65536, 4}} {
+		if got := logStar(tc.n); got != tc.want {
+			t.Errorf("logStar(%v) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	s := Series{Label: "x", Points: []Point{{N: 4, Rounds: 2}}}
+	if got := FormatSeries(s); !strings.Contains(got, "n=4:2.0") {
+		t.Errorf("FormatSeries = %q", got)
+	}
+}

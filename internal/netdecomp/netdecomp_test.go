@@ -1,0 +1,121 @@
+package netdecomp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locallab/internal/graph"
+)
+
+func buildAndVerify(t *testing.T, g *graph.Graph) *Decomposition {
+	t.Helper()
+	dec, cost, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, dec); err != nil {
+		t.Fatalf("invalid decomposition: %v", err)
+	}
+	if cost.Rounds() < 1 {
+		t.Errorf("rounds = %d", cost.Rounds())
+	}
+	return dec
+}
+
+func TestBuildOnFamilies(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"cycle", func() (*graph.Graph, error) { return graph.NewCycle(64, 1) }},
+		{"random-3-regular", func() (*graph.Graph, error) { return graph.NewRandomRegular(128, 3, 2, false) }},
+		{"torus", func() (*graph.Graph, error) { return graph.NewTorus(8, 8, 3) }},
+		{"bitrev-tree", func() (*graph.Graph, error) { return graph.NewBitrevTree(7, 4) }},
+		{"path", func() (*graph.Graph, error) { return graph.NewPath(50, 5) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec := buildAndVerify(t, g)
+			n := float64(g.NumNodes())
+			if float64(dec.Colors) > 3*math.Log2(n)+4 {
+				t.Errorf("colors = %d, want O(log n) = %.0f", dec.Colors, 3*math.Log2(n)+4)
+			}
+			if float64(dec.Radius) > 3*math.Log2(n)+4 {
+				t.Errorf("radius = %d, want O(log n)", dec.Radius)
+			}
+		})
+	}
+}
+
+func TestLogParamsGrowth(t *testing.T) {
+	// (O(log n), O(log n)): both parameters must grow slowly.
+	var prevColors int
+	for _, n := range []int{128, 512, 2048} {
+		g, err := graph.NewRandomRegular(n, 3, int64(n), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := buildAndVerify(t, g)
+		if prevColors > 0 && dec.Colors > 3*prevColors {
+			t.Errorf("colors exploded from %d to %d over 4x size", prevColors, dec.Colors)
+		}
+		prevColors = dec.Colors
+	}
+}
+
+func TestVerifyRejectsBadDecompositions(t *testing.T) {
+	g, err := graph.NewCycle(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := buildAndVerify(t, g)
+
+	// Merge all clusters into one color: adjacent clusters then share it.
+	if len(dec.Color) > 1 {
+		bad := &Decomposition{Cluster: dec.Cluster, Color: make([]int, len(dec.Color)), Radius: dec.Radius}
+		if err := Verify(g, bad); err == nil {
+			t.Error("monochromatic clusters accepted")
+		}
+	}
+	// Shrink the claimed radius below reality.
+	if dec.Radius > 0 {
+		bad := &Decomposition{Cluster: dec.Cluster, Color: dec.Color, Radius: -1}
+		if err := Verify(g, bad); err == nil {
+			t.Error("understated radius accepted")
+		}
+	}
+	// Out-of-range cluster id.
+	badCluster := make([]int, len(dec.Cluster))
+	copy(badCluster, dec.Cluster)
+	badCluster[0] = len(dec.Color) + 5
+	if err := Verify(g, &Decomposition{Cluster: badCluster, Color: dec.Color, Radius: dec.Radius}); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+}
+
+// Property: decomposition is valid on random multigraphs of varied size.
+func TestBuildProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(uint64(seed)%60)
+		if n%2 == 1 {
+			n++
+		}
+		g, err := graph.NewRandomRegular(n, 3, seed, false)
+		if err != nil {
+			return true
+		}
+		dec, _, err := Build(g, Options{})
+		if err != nil {
+			return false
+		}
+		return Verify(g, dec) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+package sinkless
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+	"locallab/internal/local"
+)
+
+// This file implements the randomized sinkless-orientation algorithm as a
+// genuine message-passing protocol on the synchronous goroutine runtime
+// (local.Run) — no global state, every decision from received messages:
+//
+//	round 1     every node claims a uniformly random incident edge and
+//	            announces (identifier, claim) on every port.
+//	round 2     both endpoints resolve each edge identically: a claimed
+//	            edge goes to its claimant (ties: larger identifier); an
+//	            unclaimed edge to the larger identifier.
+//	repair      sinks walk to surplus: each iteration a sink asks one
+//	            neighbor to give up the connecting edge. Neighbors with
+//	            out-degree >= 2 always grant; out-degree-1 neighbors
+//	            grant with probability 1/2 and become the walking sink
+//	            themselves. Surplus is dense after random claims, so
+//	            walks are short.
+//
+// Termination: a node finishes when neither it nor any neighbor is a
+// sink; the runtime stops when all machines finish.
+
+// smMsg is the single message type exchanged; unused fields are zero.
+type smMsg struct {
+	ID      int64
+	Claim   bool // round 1: sender claims the edge on this port
+	OutDeg  int  // repair: sender's current out-degree
+	IsSink  bool // repair: sender is currently a sink
+	Request bool // repair: sender asks to take over this edge
+	Grant   bool // repair: sender releases this edge to the receiver
+}
+
+// smachine is the per-node state machine.
+type smachine struct {
+	info    local.NodeInfo
+	rng     *rand.Rand
+	round   int
+	claimP  int // claimed port
+	nbrID   []int64
+	out     []bool // out[p]: edge at port p currently leaves this node
+	reqPort int    // port requested this iteration (-1 none)
+	sinkFor int    // consecutive iterations spent as a sink
+}
+
+var _ local.Machine = (*smachine)(nil)
+
+func (m *smachine) Init(info local.NodeInfo) {
+	m.info = info
+	m.rng = info.RNG
+	if m.rng == nil {
+		// Deterministic fallback keeps the machine usable in tests that
+		// run the runtime in deterministic mode.
+		m.rng = rand.New(rand.NewSource(info.ID))
+	}
+	m.round = 0
+	m.nbrID = make([]int64, info.Degree)
+	m.out = make([]bool, info.Degree)
+	m.reqPort = -1
+	m.sinkFor = 0
+	if info.Degree > 0 {
+		m.claimP = m.rng.Intn(info.Degree)
+	}
+}
+
+func (m *smachine) outDeg() int {
+	d := 0
+	for _, o := range m.out {
+		if o {
+			d++
+		}
+	}
+	return d
+}
+
+func (m *smachine) isSink() bool { return m.info.Degree > 0 && m.outDeg() == 0 }
+
+func (m *smachine) Round(recv []local.Message) ([]local.Message, bool) {
+	defer func() { m.round++ }()
+	deg := m.info.Degree
+	send := make([]local.Message, deg)
+	switch m.round {
+	case 0:
+		// Announce identifier and claim.
+		for p := 0; p < deg; p++ {
+			send[p] = smMsg{ID: m.info.ID, Claim: p == m.claimP}
+		}
+		return send, deg == 0
+	case 1:
+		// Record all neighbor identifiers first: self-loop port pairing
+		// needs the complete table.
+		for p := 0; p < deg; p++ {
+			msg, ok := recv[p].(smMsg)
+			if !ok {
+				return nil, false
+			}
+			m.nbrID[p] = msg.ID
+		}
+		// Resolve every edge locally and symmetrically.
+		for p := 0; p < deg; p++ {
+			msg := recv[p].(smMsg)
+			mine := p == m.claimP
+			theirs := msg.Claim
+			switch {
+			case mine && !theirs:
+				m.out[p] = true
+			case theirs && !mine:
+				m.out[p] = false
+			default:
+				// Both or neither: larger identifier takes the edge.
+				// Self-loops (msg.ID == own ID) stay "out" on the lower
+				// port by convention, giving the node an out-edge.
+				if msg.ID == m.info.ID {
+					m.out[p] = p < m.oppositeLoopPort(p)
+				} else {
+					m.out[p] = m.info.ID > msg.ID
+				}
+			}
+		}
+		fallthrough
+	default:
+	}
+
+	// Repair iterations alternate: even rounds send status+requests, odd
+	// rounds send grants. Grants received flip edges toward us.
+	for p := 0; p < deg; p++ {
+		if msg, ok := recv[p].(smMsg); ok && m.round > 1 {
+			if msg.Grant {
+				m.out[p] = true
+			}
+			if msg.Request && m.shouldGrant(p, msg) {
+				m.out[p] = false
+				send[p] = smMsg{ID: m.info.ID, OutDeg: m.outDeg(), IsSink: m.isSink(), Grant: true}
+			}
+		}
+	}
+	if m.isSink() {
+		m.sinkFor++
+	} else {
+		m.sinkFor = 0
+		m.reqPort = -1
+	}
+	// Status everywhere; sinks additionally place one request.
+	if m.isSink() && m.round%2 == 0 {
+		m.reqPort = m.pickTarget(recv)
+	}
+	anySinkNearby := m.isSink()
+	for p := 0; p < deg; p++ {
+		if msg, ok := recv[p].(smMsg); ok && msg.IsSink {
+			anySinkNearby = true
+		}
+		out := smMsg{ID: m.info.ID, OutDeg: m.outDeg(), IsSink: m.isSink()}
+		if m.isSink() && p == m.reqPort {
+			out.Request = true
+		}
+		if prior, ok := send[p].(smMsg); ok && prior.Grant {
+			out.Grant = true
+		}
+		send[p] = out
+	}
+	done := m.round >= 3 && !anySinkNearby
+	return send, done
+}
+
+// oppositeLoopPort finds the other port of a self-loop given one side.
+// With the message-only interface the machine cannot see edge identities,
+// so it pairs loop ports in ascending order, which matches both sides'
+// computation.
+func (m *smachine) oppositeLoopPort(p int) int {
+	var loops []int
+	for q := 0; q < m.info.Degree; q++ {
+		if m.nbrID[q] == m.info.ID {
+			loops = append(loops, q)
+		}
+	}
+	for i := 0; i+1 < len(loops); i += 2 {
+		if loops[i] == p {
+			return loops[i+1]
+		}
+		if loops[i+1] == p {
+			return loops[i]
+		}
+	}
+	return p
+}
+
+// shouldGrant decides whether to release the edge at port p to a
+// requesting sink: always with surplus, with probability 1/2 at
+// out-degree 1 (the walking step), never when already a sink.
+func (m *smachine) shouldGrant(p int, req smMsg) bool {
+	if !m.out[p] {
+		return false // nothing to grant: the edge already points here
+	}
+	switch {
+	case m.outDeg() >= 2:
+		return true
+	case m.outDeg() == 1:
+		return m.rng.Intn(2) == 0
+	default:
+		return false
+	}
+}
+
+// pickTarget chooses which neighbor a sink petitions: the one advertising
+// the largest out-degree (staleness tolerated), ties by identifier, with
+// a random tiebreak every few attempts to escape symmetric stand-offs.
+func (m *smachine) pickTarget(recv []local.Message) int {
+	best, bestDeg := -1, -1
+	var bestID int64
+	for p := 0; p < m.info.Degree; p++ {
+		msg, ok := recv[p].(smMsg)
+		if !ok {
+			continue
+		}
+		if msg.OutDeg > bestDeg || (msg.OutDeg == bestDeg && msg.ID < bestID) {
+			best, bestDeg, bestID = p, msg.OutDeg, msg.ID
+		}
+	}
+	if m.sinkFor > 4 || best < 0 {
+		return m.rng.Intn(m.info.Degree)
+	}
+	return best
+}
+
+// MessageSolver runs the protocol above on the synchronous runtime. It
+// demonstrates that the randomized solver is implementable with pure
+// message passing; RandSolver remains the reference implementation with
+// wave-exact cost accounting.
+type MessageSolver struct {
+	// MaxRounds caps the runtime.
+	MaxRounds int
+}
+
+var _ lcl.Solver = &MessageSolver{}
+
+// NewMessageSolver returns the solver with a generous round cap.
+func NewMessageSolver() *MessageSolver { return &MessageSolver{MaxRounds: 4096} }
+
+// Name implements lcl.Solver.
+func (s *MessageSolver) Name() string { return "sinkless-rand-messages" }
+
+// Randomized implements lcl.Solver.
+func (s *MessageSolver) Randomized() bool { return true }
+
+// Solve implements lcl.Solver.
+func (s *MessageSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Labeling, *local.Cost, error) {
+	if err := checkSolvable(g); err != nil {
+		return nil, nil, err
+	}
+	machines := make([]local.Machine, g.NumNodes())
+	states := make([]*smachine, g.NumNodes())
+	for v := range machines {
+		sm := &smachine{}
+		machines[v] = sm
+		states[v] = sm
+	}
+	rounds, err := local.Run(g, machines, seed, true, s.MaxRounds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("message solver: %w", err)
+	}
+	out := lcl.NewLabeling(g)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for p, o := range states[v].out {
+			h := g.HalfAt(v, int32(p))
+			if o {
+				out.SetHalf(h, LabelOut)
+			} else {
+				out.SetHalf(h, LabelIn)
+			}
+		}
+	}
+	cost := local.NewCost(g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		cost.Charge(graph.NodeID(v), rounds)
+	}
+	return out, cost, nil
+}

@@ -1,0 +1,108 @@
+package sinkless
+
+import (
+	"testing"
+	"testing/quick"
+
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+func TestMessageSolverOnFamilies(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"random-3-regular", func() (*graph.Graph, error) { return graph.NewRandomRegular(64, 3, 1, true) }},
+		{"random-4-regular-multi", func() (*graph.Graph, error) { return graph.NewRandomRegular(50, 4, 2, false) }},
+		{"torus", func() (*graph.Graph, error) { return graph.NewTorus(6, 6, 3) }},
+		{"bitrev", func() (*graph.Graph, error) { return graph.NewBitrevTree(6, 4) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := lcl.NewLabeling(g)
+			out, cost, err := NewMessageSolver().Solve(g, in, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := lcl.Verify(g, Problem{}, in, out); err != nil {
+				t.Fatalf("message protocol produced invalid orientation: %v", err)
+			}
+			if cost.Rounds() < 2 {
+				t.Errorf("rounds = %d, want >= 2", cost.Rounds())
+			}
+		})
+	}
+}
+
+func TestMessageSolverManySeeds(t *testing.T) {
+	g, err := graph.NewRandomRegular(128, 3, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	for seed := int64(0); seed < 8; seed++ {
+		out, _, err := NewMessageSolver().Solve(g, in, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := lcl.Verify(g, Problem{}, in, out); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMessageSolverRejectsTrees(t *testing.T) {
+	g, err := graph.NewCompleteBinaryTree(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewMessageSolver().Solve(g, lcl.NewLabeling(g), 0); err == nil {
+		t.Fatal("tree accepted by message solver")
+	}
+}
+
+func TestMessageSolverRoundsComparable(t *testing.T) {
+	// The protocol's rounds should stay within a small factor of the
+	// reference randomized solver (both are claims + short repairs).
+	g, err := graph.NewRandomRegular(512, 3, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	_, msgCost, err := NewMessageSolver().Solve(g, in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgCost.Rounds() > 64 {
+		t.Errorf("message rounds = %d; repair walks should be short on random regular graphs", msgCost.Rounds())
+	}
+}
+
+// Property: the message protocol yields valid orientations across
+// instances and seeds.
+func TestMessageSolverProperty(t *testing.T) {
+	f := func(seed int64, solverSeed int64) bool {
+		n := 16 + int(uint64(seed)%48)
+		if n%2 == 1 {
+			n++
+		}
+		g, err := graph.NewRandomRegular(n, 3, seed, false)
+		if err != nil {
+			return true
+		}
+		in := lcl.NewLabeling(g)
+		out, _, err := NewMessageSolver().Solve(g, in, solverSeed)
+		if err != nil {
+			return false
+		}
+		return lcl.Verify(g, Problem{}, in, out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+package sinkless
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+func solveAndVerify(t *testing.T, s lcl.Solver, g *graph.Graph, seed int64) int {
+	t.Helper()
+	in := lcl.NewLabeling(g)
+	out, cost, err := s.Solve(g, in, seed)
+	if err != nil {
+		t.Fatalf("%s solve: %v", s.Name(), err)
+	}
+	if err := lcl.Verify(g, Problem{}, in, out); err != nil {
+		t.Fatalf("%s produced invalid solution: %v", s.Name(), err)
+	}
+	return cost.Rounds()
+}
+
+func TestDetSolverOnFamilies(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(t *testing.T) *graph.Graph
+	}{
+		{"random-3-regular", func(t *testing.T) *graph.Graph {
+			g, err := graph.NewRandomRegular(64, 3, 1, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"random-4-regular-multigraph", func(t *testing.T) *graph.Graph {
+			g, err := graph.NewRandomRegular(40, 4, 2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"bitrev-tree", func(t *testing.T) *graph.Graph {
+			g, err := graph.NewBitrevTree(6, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"torus", func(t *testing.T) *graph.Graph {
+			g, err := graph.NewTorus(5, 6, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"cycle", func(t *testing.T) *graph.Graph {
+			g, err := graph.NewCycle(9, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := tt.build(t)
+			rounds := solveAndVerify(t, NewDetSolver(), g, 0)
+			if rounds <= 0 {
+				t.Errorf("rounds = %d, want > 0", rounds)
+			}
+		})
+	}
+}
+
+func TestDetSolverSelfLoopsAndParallel(t *testing.T) {
+	b := graph.NewBuilder(4, 6)
+	v0 := b.MustAddNode(1)
+	v1 := b.MustAddNode(2)
+	v2 := b.MustAddNode(3)
+	v3 := b.MustAddNode(4)
+	b.MustAddEdge(v0, v0) // self-loop
+	b.MustAddEdge(v1, v2) // parallel pair
+	b.MustAddEdge(v1, v2)
+	b.MustAddEdge(v2, v3)
+	b.MustAddEdge(v3, v0)
+	b.MustAddEdge(v3, v1)
+	g := b.MustBuild()
+	solveAndVerify(t, NewDetSolver(), g, 0)
+}
+
+func TestDetSolverRejectsTrees(t *testing.T) {
+	g, err := graph.NewCompleteBinaryTree(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	if _, _, err := NewDetSolver().Solve(g, in, 0); !errors.Is(err, ErrUnsolvable) {
+		t.Fatalf("solve on tree: err = %v, want ErrUnsolvable", err)
+	}
+	if _, _, err := NewRandSolver().Solve(g, in, 0); !errors.Is(err, ErrUnsolvable) {
+		t.Fatalf("rand solve on tree: err = %v, want ErrUnsolvable", err)
+	}
+}
+
+func TestDetSolverDisconnected(t *testing.T) {
+	g1, _ := graph.NewCycle(5, 1)
+	g2, _ := graph.NewRandomRegular(20, 3, 2, false)
+	g, _, err := graph.DisjointUnion(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveAndVerify(t, NewDetSolver(), g, 0)
+	solveAndVerify(t, NewRandSolver(), g, 7)
+}
+
+func TestRandSolverManySeeds(t *testing.T) {
+	g, err := graph.NewRandomRegular(100, 3, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		rounds := solveAndVerify(t, NewRandSolver(), g, seed)
+		if rounds < 1 {
+			t.Errorf("seed %d: rounds = %d, want >= 1", seed, rounds)
+		}
+	}
+}
+
+func TestRandFasterThanDetOnLargeRegular(t *testing.T) {
+	g, err := graph.NewRandomRegular(2048, 3, 11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := solveAndVerify(t, NewDetSolver(), g, 0)
+	rnd := solveAndVerify(t, NewRandSolver(), g, 1)
+	// The deterministic solver needs to reach a cycle: Θ(log n) here.
+	// The randomized one repairs local defects only.
+	if rnd >= det {
+		t.Errorf("randomized rounds (%d) >= deterministic rounds (%d); expected clear separation", rnd, det)
+	}
+}
+
+func TestDetRoundsGrowOnBitrevFamily(t *testing.T) {
+	prev := 0
+	for _, h := range []int{5, 7, 9, 11} {
+		g, err := graph.NewBitrevTree(h, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := solveAndVerify(t, NewDetSolver(), g, 0)
+		if rounds < prev {
+			t.Errorf("height %d: rounds = %d decreased (prev %d); want monotone growth with log n", h, rounds, prev)
+		}
+		prev = rounds
+	}
+	if prev < 8 {
+		t.Errorf("final rounds = %d; want Θ(height) growth on the hard family", prev)
+	}
+}
+
+func TestOrientationHelpers(t *testing.T) {
+	g, err := graph.NewCycle(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	out, _, err := NewDetSolver().Solve(g, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sides := Orientation(g, out)
+	if len(sides) != g.NumEdges() {
+		t.Fatalf("orientation length %d, want %d", len(sides), g.NumEdges())
+	}
+	deg := OutDegrees(g, out)
+	for v, d := range deg {
+		if d < 1 {
+			t.Errorf("node %d out-degree %d, want >= 1", v, d)
+		}
+	}
+}
+
+func TestCheckerRejectsCorruptions(t *testing.T) {
+	g, err := graph.NewRandomRegular(20, 3, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	out, _, err := NewDetSolver().Solve(g, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single half-edge label breaks either its edge
+	// constraint or creates a sink somewhere; the checker must notice.
+	for i := 0; i < g.NumHalves(); i++ {
+		c := out.Clone()
+		if c.Half[i] == LabelOut {
+			c.Half[i] = LabelIn
+		} else {
+			c.Half[i] = LabelOut
+		}
+		if err := lcl.Verify(g, Problem{}, in, c); err == nil {
+			t.Fatalf("corrupting half %d went undetected", i)
+		}
+	}
+	// Garbage labels are rejected too.
+	c := out.Clone()
+	c.Half[0] = "banana"
+	if err := lcl.Verify(g, Problem{}, in, c); err == nil {
+		t.Fatal("garbage label went undetected")
+	}
+}
+
+// Property: the deterministic solver succeeds and verifies on random
+// multigraph instances of minimum degree 3 — in particular its claim
+// resolution never reports an internal conflict, which exercises the
+// consistency argument for cycle-based claims.
+func TestDetSolverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%40)
+		if n%2 == 1 {
+			n++
+		}
+		g, err := graph.NewRandomRegular(n, 3, seed, false)
+		if err != nil {
+			return true
+		}
+		in := lcl.NewLabeling(g)
+		out, _, err := NewDetSolver().Solve(g, in, 0)
+		if err != nil {
+			return false
+		}
+		return lcl.Verify(g, Problem{}, in, out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the randomized solver succeeds and verifies across seeds and
+// instances.
+func TestRandSolverProperty(t *testing.T) {
+	f := func(seed int64, solverSeed int64) bool {
+		n := 20 + int(uint64(seed)%40)
+		if n%2 == 1 {
+			n++
+		}
+		g, err := graph.NewRandomRegular(n, 3, seed, false)
+		if err != nil {
+			return true
+		}
+		in := lcl.NewLabeling(g)
+		out, _, err := NewRandSolver().Solve(g, in, solverSeed)
+		if err != nil {
+			return false
+		}
+		return lcl.Verify(g, Problem{}, in, out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
