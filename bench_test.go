@@ -83,6 +83,26 @@ func BenchmarkSinklessRand2048(b *testing.B) {
 	}
 }
 
+// BenchmarkSinklessMsg2048 drives the message-passing sinkless protocol
+// through local.Run, i.e. through the sharded worker-pool engine — the
+// end-to-end counterpart of the pool-vs-goroutine-per-node
+// micro-benchmarks in internal/engine.
+func BenchmarkSinklessMsg2048(b *testing.B) {
+	g, err := graph.NewRandomRegular(2048, 3, 5, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	s := sinkless.NewMessageSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(g, in, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkGadgetVerifier(b *testing.B) {
 	gd, err := gadget.BuildUniform(3, 7)
 	if err != nil {

@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	lcl-bench [-quick] [-only E-F1,E-T11]
+//	lcl-bench [-quick] [-only E-F1,E-T11] [-workers 8] [-shards 32]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
+	"locallab/internal/engine"
 	"locallab/internal/experiments"
 )
 
@@ -27,8 +29,21 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("lcl-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "small sizes (seconds instead of minutes)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default all)")
+	workers := fs.Int("workers", 0, "sweep-grid workers: the (size × seed) cells of each measurement sweep run this wide (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "engine node shards for message-passing solvers (0 = auto)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Parallelism budget: exactly one layer fans out across -workers —
+	// the sweep grid, whose independent (size × seed) cells are the
+	// fine-grained bulk of the work. Experiments run in order and the
+	// engines inside each cell stay single-worker; stacking all three
+	// layers at GOMAXPROCS would multiply into oversubscription without
+	// adding throughput. Sharding still applies (identical outputs
+	// either way; the engine is deterministic).
+	engine.SetDefaultOptions(engine.Options{Workers: 1, Shards: *shards})
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 	scale := experiments.Full
 	if *quick {
@@ -40,14 +55,17 @@ func run(args []string) error {
 			wanted[id] = true
 		}
 	}
-	results, err := experiments.All(scale)
+	h := &experiments.Harness{
+		Scale:        scale,
+		Workers:      1,
+		SweepWorkers: *workers,
+		Only:         wanted,
+	}
+	results, err := h.Run()
 	if err != nil {
 		return err
 	}
 	for _, r := range results {
-		if len(wanted) > 0 && !wanted[r.ID] {
-			continue
-		}
 		fmt.Printf("## %s — %s\n\n%s\n", r.ID, r.Title, r.Table)
 		for _, n := range r.Notes {
 			fmt.Printf("note: %s\n", n)

@@ -7,3 +7,15 @@ func TestRunQuickSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunQuickSubsetParallel(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E-F2,E-F5,E-L1", "-workers", "4", "-shards", "16"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "-only", "E-NOPE"}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

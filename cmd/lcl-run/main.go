@@ -5,6 +5,7 @@
 // Usage:
 //
 //	lcl-run -problem sinkless-det -graph regular -n 1024 -seed 7
+//	lcl-run -problem sinkless-msg -n 4096 -workers 8 -shards 64
 //	lcl-run -problem pi2-rand -n 48
 //	lcl-run -list
 package main
@@ -17,6 +18,7 @@ import (
 
 	"locallab/internal/coloring"
 	"locallab/internal/core"
+	"locallab/internal/engine"
 	"locallab/internal/graph"
 	"locallab/internal/lcl"
 	"locallab/internal/sinkless"
@@ -97,9 +99,12 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "instance and solver seed")
 	list := fs.Bool("list", false, "list problems and exit")
 	dump := fs.String("dump", "", "write the instance graph (text format) to this file")
+	workers := fs.Int("workers", 0, "engine worker goroutines for message-passing solvers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "engine node shards for message-passing solvers (0 = auto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engine.SetDefaultOptions(engine.Options{Workers: *workers, Shards: *shards})
 	jobs := registry()
 	if *list {
 		names := make([]string, 0, len(jobs))

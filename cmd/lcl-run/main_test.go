@@ -26,6 +26,8 @@ func TestRunProblems(t *testing.T) {
 		{"-problem", "sinkless-det", "-graph", "bitrev", "-n", "60"},
 		{"-problem", "sinkless-det", "-graph", "torus", "-n", "25"},
 		{"-problem", "sinkless-det", "-graph", "hypercube", "-n", "32"},
+		{"-problem", "sinkless-msg", "-n", "64", "-workers", "2", "-shards", "8"},
+		{"-problem", "3coloring", "-n", "50", "-workers", "1", "-shards", "1"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {

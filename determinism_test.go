@@ -8,7 +8,9 @@ package locallab_test
 import (
 	"testing"
 
+	"locallab/internal/coloring"
 	"locallab/internal/core"
+	"locallab/internal/engine"
 	"locallab/internal/graph"
 	"locallab/internal/lcl"
 	"locallab/internal/sinkless"
@@ -61,6 +63,88 @@ func TestRandomizedSolverSeedReplays(t *testing.T) {
 	}
 	if lcl.Equal(a, c) {
 		t.Fatal("different seeds produced identical outputs (suspicious)")
+	}
+}
+
+// shardedConfigs is the engine grid the equivalence property tests sweep:
+// from a single worker on a single shard up to heavy oversharding.
+var shardedConfigs = []engine.Options{
+	{Workers: 1, Shards: 1},
+	{Workers: 2, Shards: 5},
+	{Workers: 4, Shards: 16},
+	{Workers: 8, Shards: 64},
+	{}, // package defaults (GOMAXPROCS workers)
+}
+
+// TestShardedEngineMatchesSequentialSinkless is the property test of the
+// engine rewrite: on random 3-regular graphs, the message-passing
+// sinkless solver must produce byte-identical labelings on the sharded
+// worker-pool engine and on the sequential reference oracle, for every
+// master seed, graph size, and worker/shard configuration.
+func TestShardedEngineMatchesSequentialSinkless(t *testing.T) {
+	sizes := []int{64, 128, 256}
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, n := range sizes {
+		for _, seed := range seeds {
+			g, err := graph.NewRandomRegular(n, 3, seed*31+int64(n), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := lcl.NewLabeling(g)
+			oracle := &sinkless.MessageSolver{MaxRounds: 4096, Engine: engine.New(engine.Options{Sequential: true})}
+			want, wantCost, err := oracle.Solve(g, in, seed)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: oracle: %v", n, seed, err)
+			}
+			for _, opts := range shardedConfigs {
+				s := &sinkless.MessageSolver{MaxRounds: 4096, Engine: engine.New(opts)}
+				got, cost, err := s.Solve(g, in, seed)
+				if err != nil {
+					t.Fatalf("n=%d seed=%d %+v: %v", n, seed, opts, err)
+				}
+				if !lcl.Equal(want, got) {
+					t.Fatalf("n=%d seed=%d %+v: sharded labeling differs from sequential oracle", n, seed, opts)
+				}
+				if cost.Rounds() != wantCost.Rounds() {
+					t.Fatalf("n=%d seed=%d %+v: rounds %d, want %d", n, seed, opts, cost.Rounds(), wantCost.Rounds())
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEngineMatchesSequentialColoring is the deterministic-solver
+// counterpart: Cole–Vishkin 3-coloring on cycles through the same engine
+// grid.
+func TestShardedEngineMatchesSequentialColoring(t *testing.T) {
+	sizes := []int{33, 100, 257}
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, n := range sizes {
+		for _, seed := range seeds {
+			g, err := graph.NewCycle(n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := lcl.NewLabeling(g)
+			oracle := &coloring.CVSolver{MaxRounds: 1 << 20, Engine: engine.New(engine.Options{Sequential: true})}
+			want, _, err := oracle.Solve(g, in, seed)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: oracle: %v", n, seed, err)
+			}
+			if err := lcl.Verify(g, coloring.Three{}, in, want); err != nil {
+				t.Fatalf("n=%d seed=%d: oracle output invalid: %v", n, seed, err)
+			}
+			for _, opts := range shardedConfigs {
+				s := &coloring.CVSolver{MaxRounds: 1 << 20, Engine: engine.New(opts)}
+				got, _, err := s.Solve(g, in, seed)
+				if err != nil {
+					t.Fatalf("n=%d seed=%d %+v: %v", n, seed, opts, err)
+				}
+				if !lcl.Equal(want, got) {
+					t.Fatalf("n=%d seed=%d %+v: sharded coloring differs from sequential oracle", n, seed, opts)
+				}
+			}
+		}
 	}
 }
 

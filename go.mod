@@ -1,0 +1,3 @@
+module locallab
+
+go 1.24

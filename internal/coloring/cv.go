@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"locallab/internal/engine"
 	"locallab/internal/graph"
 	"locallab/internal/lcl"
 	"locallab/internal/local"
@@ -120,6 +121,9 @@ type CVSolver struct {
 	// MaxRounds caps the runtime (elimination chains are short in
 	// practice; the cap only guards against adversarial inputs).
 	MaxRounds int
+	// Engine overrides the execution engine; nil uses the package-level
+	// engine defaults (sharded worker pool).
+	Engine *engine.Engine
 }
 
 var _ lcl.Solver = &CVSolver{}
@@ -142,7 +146,7 @@ func (s *CVSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Lab
 	for v := range machines {
 		machines[v] = &cvMachine{}
 	}
-	rounds, err := local.Run(g, machines, seed, false, s.MaxRounds)
+	rounds, err := local.RunWith(s.Engine, g, machines, seed, false, s.MaxRounds)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cole-vishkin runtime: %w", err)
 	}

@@ -1,0 +1,468 @@
+// Package engine is the execution core of the LOCAL-model simulator: a
+// sharded worker-pool runtime for synchronous message-passing algorithms.
+//
+// The model semantics are exactly those of Section 2 of the paper (and of
+// the original goroutine-per-node loop this package replaces): computation
+// proceeds in rounds; in each round every node consumes the messages that
+// arrived on its ports, emits one message per port, and the messages cross
+// their edges before the next round starts. The engine changes only the
+// mechanics, not the semantics:
+//
+//   - Nodes are partitioned into contiguous shards. A fixed pool of worker
+//     goroutines (Options.Workers, default GOMAXPROCS) executes each round
+//     shard by shard instead of spawning one goroutine per node per round.
+//   - Messages live in a double-buffered plane: two flat per-port buffers
+//     that swap roles each round. The compute phase reads the current
+//     plane; the delivery phase writes the next one through a precomputed
+//     route table (receiver-side delivery, so writes never contend).
+//   - All buffers are allocated once per Run and reused every round, so
+//     the steady-state round loop performs no engine-side allocations.
+//
+// Because every phase is separated by a barrier and every slot of every
+// buffer is owned by exactly one node, the execution is deterministic: the
+// outputs are byte-identical for every Workers/Shards setting, including
+// the sequential reference path (Options.Sequential), which is preserved
+// as the differential-testing oracle.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"locallab/internal/graph"
+)
+
+// Message is an opaque payload exchanged between neighbors. Implementations
+// may send nil to stay silent on a port.
+type Message interface{}
+
+// NodeInfo is the initial knowledge of a node per the model: the global
+// bounds n and Δ, its own identifier and degree, and a private random
+// source (nil for deterministic machines).
+type NodeInfo struct {
+	N      int
+	Delta  int
+	ID     int64
+	Degree int
+	RNG    *rand.Rand
+}
+
+// Machine is the per-node program of a synchronous message-passing
+// algorithm.
+type Machine interface {
+	// Init resets the machine with the node's initial knowledge.
+	Init(info NodeInfo)
+	// Round consumes the messages received on each port (recv[p] is the
+	// message from port p's neighbor, nil in round 0 or when silent) and
+	// returns the messages to send per port plus whether this node has
+	// terminated with its final state.
+	Round(recv []Message) (send []Message, done bool)
+}
+
+// ErrRoundLimit is returned by Run when machines do not all terminate
+// within the round budget.
+var ErrRoundLimit = errors.New("round limit exceeded")
+
+// DeriveRNG returns the private random source of the node with the given
+// identifier under the given master seed. SplitMix64 scrambling keeps
+// per-node streams decorrelated.
+func DeriveRNG(masterSeed, nodeIdentifier int64) *rand.Rand {
+	z := uint64(masterSeed) + 0x9e3779b97f4a7c15*uint64(nodeIdentifier+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of pool goroutines; <= 0 means GOMAXPROCS.
+	Workers int
+	// Shards is the number of contiguous node ranges the graph is split
+	// into; <= 0 picks 4×Workers (work-stealing slack), capped at n.
+	Shards int
+	// Sequential bypasses the pool entirely and runs the reference
+	// single-threaded implementation with identical semantics. It is the
+	// oracle the determinism tests compare the sharded path against.
+	Sequential bool
+}
+
+// Engine executes synchronous rounds under fixed Options. The zero value
+// is usable and equivalent to New(Options{}).
+type Engine struct {
+	opts Options
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine { return &Engine{opts: opts} }
+
+// Package-level defaults, settable from command-line flags. Stored as
+// atomics so flag threading never races with concurrent Runs.
+var (
+	defaultWorkers atomic.Int32
+	defaultShards  atomic.Int32
+)
+
+// SetDefaultOptions installs the worker/shard counts used by the
+// package-level Run (and therefore by local.Run and every solver built on
+// it). Non-positive values mean "auto".
+func SetDefaultOptions(o Options) {
+	defaultWorkers.Store(int32(o.Workers))
+	defaultShards.Store(int32(o.Shards))
+}
+
+// DefaultOptions returns the current package-level defaults.
+func DefaultOptions() Options {
+	return Options{
+		Workers: int(defaultWorkers.Load()),
+		Shards:  int(defaultShards.Load()),
+	}
+}
+
+// Run executes machines on g with the package-level default options.
+func Run(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	return New(DefaultOptions()).Run(g, machines, masterSeed, randomized, maxRounds)
+}
+
+// RunSequential executes machines with the single-threaded reference
+// implementation (the differential-testing oracle).
+func RunSequential(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	return New(Options{Sequential: true}).Run(g, machines, masterSeed, randomized, maxRounds)
+}
+
+// Run executes machines synchronously on g until every machine reports
+// done, or maxRounds is exceeded. It returns the number of executed
+// rounds.
+func (e *Engine) Run(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	n := g.NumNodes()
+	if len(machines) != n {
+		return 0, fmt.Errorf("engine: %d machines for %d nodes", len(machines), n)
+	}
+	if e.opts.Sequential {
+		return runSequential(g, machines, masterSeed, randomized, maxRounds)
+	}
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := e.opts.Shards
+	if shards <= 0 {
+		shards = 4 * workers
+	}
+	if shards > n {
+		shards = n
+	}
+	if workers > shards {
+		workers = shards
+	}
+
+	st := newRunState(g, machines, masterSeed, randomized, shards)
+
+	// Persistent pool: workers live for the whole Run and pull shard
+	// indices from the job channel. The coordinator writes st.phase
+	// before dispatching; the channel send orders that write before the
+	// worker's read, and wg.Wait orders every worker write before the
+	// coordinator's next read — the whole round loop is barrier-clean.
+	jobs := make(chan int, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func() {
+			for s := range jobs {
+				switch st.phase {
+				case phaseInit:
+					st.initShard(s)
+				case phaseCompute:
+					st.computeShard(s)
+				case phaseDeliver:
+					st.deliverShard(s)
+				}
+				wg.Done()
+			}
+		}()
+	}
+	defer close(jobs)
+	dispatch := func(p int) {
+		st.phase = p
+		wg.Add(shards)
+		for s := 0; s < shards; s++ {
+			jobs <- s
+		}
+		wg.Wait()
+	}
+
+	dispatch(phaseInit)
+	for round := 1; round <= maxRounds; round++ {
+		dispatch(phaseCompute)
+		allDone := true
+		for _, d := range st.shardDone {
+			if !d.v {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return round, nil
+		}
+		dispatch(phaseDeliver)
+		st.cur, st.nxt = st.nxt, st.cur
+	}
+	return maxRounds, ErrRoundLimit
+}
+
+// Execution phases of the round loop.
+const (
+	phaseInit = iota
+	phaseCompute
+	phaseDeliver
+)
+
+// source locates the sender-side slot a port reads its message from: port
+// q of node u is the opposite half of the receiving port's edge.
+type source struct {
+	node graph.NodeID
+	port int32
+}
+
+// paddedBool keeps per-shard flags on separate cache lines so concurrent
+// shard completions do not false-share.
+type paddedBool struct {
+	v bool
+	_ [63]byte
+}
+
+// runState is the per-Run scratch space: route table, the double-buffered
+// message plane, and the reused outbox. Everything is allocated once.
+type runState struct {
+	g          *graph.Graph
+	machines   []Machine
+	seed       int64
+	randomized bool
+	n          int
+	delta      int
+
+	off    []int    // off[v]..off[v+1] delimit node v in the flat planes
+	route  []source // flat route table, same indexing as the planes
+	cur    []Message
+	nxt    []Message
+	outbox [][]Message
+
+	shardLo   []int // shardLo[s]..shardLo[s+1] is shard s's node range
+	shardDone []paddedBool
+
+	phase int
+}
+
+func newRunState(g *graph.Graph, machines []Machine, seed int64, randomized bool, shards int) *runState {
+	n := g.NumNodes()
+	st := &runState{
+		g:          g,
+		machines:   machines,
+		seed:       seed,
+		randomized: randomized,
+		n:          n,
+		delta:      g.MaxDegree(),
+		off:        make([]int, n+1),
+		outbox:     make([][]Message, n),
+		shardLo:    make([]int, shards+1),
+		shardDone:  make([]paddedBool, shards),
+	}
+	for v := 0; v < n; v++ {
+		st.off[v+1] = st.off[v] + g.Degree(graph.NodeID(v))
+	}
+	total := st.off[n]
+	st.route = make([]source, total)
+	st.cur = make([]Message, total)
+	st.nxt = make([]Message, total)
+	for v := 0; v < n; v++ {
+		for p := st.off[v]; p < st.off[v+1]; p++ {
+			h := g.HalfAt(graph.NodeID(v), int32(p-st.off[v]))
+			opp := g.OppositeHalf(h)
+			st.route[p] = source{node: g.HalfNode(opp), port: g.HalfPort(opp)}
+		}
+	}
+	// Contiguous shard boundaries; the first n%shards shards take one
+	// extra node.
+	base, rem := n/shards, n%shards
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		st.shardLo[s+1] = st.shardLo[s] + size
+	}
+	return st
+}
+
+func (st *runState) initShard(s int) {
+	for v := st.shardLo[s]; v < st.shardLo[s+1]; v++ {
+		var rng *rand.Rand
+		if st.randomized {
+			rng = DeriveRNG(st.seed, st.g.ID(graph.NodeID(v)))
+		}
+		st.machines[v].Init(NodeInfo{
+			N:      st.n,
+			Delta:  st.delta,
+			ID:     st.g.ID(graph.NodeID(v)),
+			Degree: st.g.Degree(graph.NodeID(v)),
+			RNG:    rng,
+		})
+	}
+}
+
+func (st *runState) computeShard(s int) {
+	allDone := true
+	for v := st.shardLo[s]; v < st.shardLo[s+1]; v++ {
+		send, fin := st.machines[v].Round(st.cur[st.off[v]:st.off[v+1]:st.off[v+1]])
+		st.outbox[v] = send
+		if !fin {
+			allDone = false
+		}
+	}
+	st.shardDone[s].v = allDone
+}
+
+// deliverShard routes messages receiver-side: each port of each node in
+// the shard pulls from its sender's outbox slot. Every slot of the next
+// plane is overwritten, so no clearing pass is needed, and no two workers
+// ever write the same slot.
+func (st *runState) deliverShard(s int) {
+	for v := st.shardLo[s]; v < st.shardLo[s+1]; v++ {
+		in := st.nxt[st.off[v]:st.off[v+1]]
+		rt := st.route[st.off[v]:st.off[v+1]]
+		for p := range in {
+			src := rt[p]
+			if ob := st.outbox[src.node]; int(src.port) < len(ob) {
+				in[p] = ob[src.port]
+			} else {
+				in[p] = nil
+			}
+		}
+	}
+}
+
+// runSequential is the reference implementation: a direct, goroutine-free
+// transcription of the model semantics (and of the original simulator
+// loop). It exists so the sharded path always has an in-tree oracle to be
+// differential-tested against.
+func runSequential(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	n := g.NumNodes()
+	delta := g.MaxDegree()
+	for v := 0; v < n; v++ {
+		var rng *rand.Rand
+		if randomized {
+			rng = DeriveRNG(masterSeed, g.ID(graph.NodeID(v)))
+		}
+		machines[v].Init(NodeInfo{
+			N:      n,
+			Delta:  delta,
+			ID:     g.ID(graph.NodeID(v)),
+			Degree: g.Degree(graph.NodeID(v)),
+			RNG:    rng,
+		})
+	}
+	inbox := make([][]Message, n)
+	outbox := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]Message, g.Degree(graph.NodeID(v)))
+	}
+	for round := 1; round <= maxRounds; round++ {
+		allDone := true
+		for v := 0; v < n; v++ {
+			send, fin := machines[v].Round(inbox[v])
+			outbox[v] = send
+			if !fin {
+				allDone = false
+			}
+		}
+		if allDone {
+			return round, nil
+		}
+		// Deliver: the message sent on a half-edge arrives at the
+		// opposite half's port.
+		for v := 0; v < n; v++ {
+			for p := range inbox[v] {
+				inbox[v][p] = nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			for p, msg := range outbox[v] {
+				if msg == nil {
+					continue
+				}
+				h := g.HalfAt(graph.NodeID(v), int32(p))
+				opp := g.OppositeHalf(h)
+				inbox[g.HalfNode(opp)][g.HalfPort(opp)] = msg
+			}
+		}
+	}
+	return maxRounds, ErrRoundLimit
+}
+
+// RunGoroutinePerNode preserves the original simulator loop — one
+// goroutine per node per round — as the benchmarking baseline the sharded
+// engine is measured against. It is not used on any production path.
+func RunGoroutinePerNode(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	n := g.NumNodes()
+	delta := g.MaxDegree()
+	for v := 0; v < n; v++ {
+		var rng *rand.Rand
+		if randomized {
+			rng = DeriveRNG(masterSeed, g.ID(graph.NodeID(v)))
+		}
+		machines[v].Init(NodeInfo{
+			N:      n,
+			Delta:  delta,
+			ID:     g.ID(graph.NodeID(v)),
+			Degree: g.Degree(graph.NodeID(v)),
+			RNG:    rng,
+		})
+	}
+	inbox := make([][]Message, n)
+	outbox := make([][]Message, n)
+	done := make([]bool, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]Message, g.Degree(graph.NodeID(v)))
+	}
+	for round := 1; round <= maxRounds; round++ {
+		var wg sync.WaitGroup
+		for v := 0; v < n; v++ {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				send, fin := machines[v].Round(inbox[v])
+				outbox[v] = send
+				done[v] = fin
+			}(v)
+		}
+		wg.Wait()
+		allDone := true
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				allDone = false
+			}
+		}
+		if allDone {
+			return round, nil
+		}
+		for v := 0; v < n; v++ {
+			for p := range inbox[v] {
+				inbox[v][p] = nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			for p, msg := range outbox[v] {
+				if msg == nil {
+					continue
+				}
+				h := g.HalfAt(graph.NodeID(v), int32(p))
+				opp := g.OppositeHalf(h)
+				inbox[g.HalfNode(opp)][g.HalfPort(opp)] = msg
+			}
+		}
+	}
+	return maxRounds, ErrRoundLimit
+}

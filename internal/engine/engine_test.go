@@ -1,0 +1,289 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"locallab/internal/engine"
+	"locallab/internal/graph"
+)
+
+// gossipMachine runs a fixed number of rounds, each round folding the
+// received values into a running digest and sending a value derived from
+// it on every port. Its final digest depends on every message of every
+// round, so any delivery or ordering bug in the runtime changes it.
+type gossipMachine struct {
+	id     int64
+	degree int
+	digest uint64
+	rounds int
+	target int
+}
+
+func (m *gossipMachine) Init(info engine.NodeInfo) {
+	m.id = info.ID
+	m.degree = info.Degree
+	m.digest = uint64(info.ID) * 0x9e3779b97f4a7c15
+	m.rounds = 0
+}
+
+func (m *gossipMachine) Round(recv []engine.Message) ([]engine.Message, bool) {
+	for p, r := range recv {
+		if r == nil {
+			continue
+		}
+		m.digest = m.digest*31 + uint64(r.(int64)) + uint64(p)
+	}
+	m.rounds++
+	send := make([]engine.Message, m.degree)
+	for p := range send {
+		send[p] = int64(m.digest>>1) + int64(p)
+	}
+	return send, m.rounds >= m.target
+}
+
+// rngMachine exercises the randomized initialization path: every round it
+// sends values drawn from the node's private RNG and digests what it
+// receives.
+type rngMachine struct {
+	gossipMachine
+	info engine.NodeInfo
+}
+
+func (m *rngMachine) Init(info engine.NodeInfo) {
+	m.gossipMachine.Init(info)
+	m.info = info
+}
+
+func (m *rngMachine) Round(recv []engine.Message) ([]engine.Message, bool) {
+	for _, r := range recv {
+		if r == nil {
+			continue
+		}
+		m.digest = m.digest*33 + uint64(r.(int64))
+	}
+	m.rounds++
+	send := make([]engine.Message, m.degree)
+	for p := range send {
+		send[p] = m.info.RNG.Int63()
+	}
+	return send, m.rounds >= m.target
+}
+
+// silentMachine stays silent on odd ports and returns a short send slice,
+// exercising the nil-message and short-outbox delivery paths.
+type silentMachine struct {
+	gossipMachine
+}
+
+func (m *silentMachine) Round(recv []engine.Message) ([]engine.Message, bool) {
+	send, done := m.gossipMachine.Round(recv)
+	for p := range send {
+		if p%2 == 1 {
+			send[p] = nil
+		}
+	}
+	if len(send) > 1 {
+		send = send[:len(send)-1]
+	}
+	return send, done
+}
+
+func testGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	cyc, err := graph.NewCycle(97, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["cycle97"] = cyc
+	reg, err := graph.NewRandomRegular(200, 3, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["regular200"] = reg
+	// Loops and parallel edges are part of the model; route through them.
+	b := graph.NewBuilder(4, 6)
+	for i := int64(1); i <= 4; i++ {
+		b.MustAddNode(i * 10)
+	}
+	b.MustAddEdge(0, 0) // self-loop
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(1, 2) // parallel edge
+	b.MustAddEdge(2, 3)
+	out["multigraph"] = b.MustBuild()
+	return out
+}
+
+// digests runs fresh machines of the given flavor through run and returns
+// the per-node digests plus the executed rounds.
+func digests(t testing.TB, g *graph.Graph, flavor string, randomized bool, run func(*graph.Graph, []engine.Machine, int64, bool, int) (int, error)) ([]uint64, int) {
+	t.Helper()
+	machines := make([]engine.Machine, g.NumNodes())
+	extract := make([]func() uint64, g.NumNodes())
+	for v := range machines {
+		switch flavor {
+		case "gossip":
+			m := &gossipMachine{target: 20}
+			machines[v] = m
+			extract[v] = func() uint64 { return m.digest }
+		case "rng":
+			m := &rngMachine{gossipMachine: gossipMachine{target: 20}}
+			machines[v] = m
+			extract[v] = func() uint64 { return m.digest }
+		case "silent":
+			m := &silentMachine{gossipMachine: gossipMachine{target: 20}}
+			machines[v] = m
+			extract[v] = func() uint64 { return m.digest }
+		default:
+			t.Fatalf("unknown flavor %q", flavor)
+		}
+	}
+	rounds, err := run(g, machines, 42, randomized, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, g.NumNodes())
+	for v := range out {
+		out[v] = extract[v]()
+	}
+	return out, rounds
+}
+
+// TestShardedMatchesSequential differential-tests the sharded pool against
+// the sequential oracle over graph shapes, machine flavors, and a grid of
+// worker/shard configurations. Outputs must be byte-identical.
+func TestShardedMatchesSequential(t *testing.T) {
+	configs := []engine.Options{
+		{Workers: 1, Shards: 1},
+		{Workers: 1, Shards: 5},
+		{Workers: 2, Shards: 2},
+		{Workers: 3, Shards: 7},
+		{Workers: 8, Shards: 32},
+		{Workers: 16, Shards: 1000}, // more shards than nodes
+		{},                          // defaults
+	}
+	for name, g := range testGraphs(t) {
+		for _, flavor := range []string{"gossip", "rng", "silent"} {
+			randomized := flavor == "rng"
+			want, wantRounds := digests(t, g, flavor, randomized, engine.RunSequential)
+			for _, opts := range configs {
+				e := engine.New(opts)
+				got, gotRounds := digests(t, g, flavor, randomized, e.Run)
+				if gotRounds != wantRounds {
+					t.Errorf("%s/%s %+v: rounds = %d, want %d", name, flavor, opts, gotRounds, wantRounds)
+				}
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%s/%s %+v: node %d digest %x, want %x", name, flavor, opts, v, got[v], want[v])
+					}
+				}
+			}
+			// The preserved goroutine-per-node baseline agrees too.
+			got, gotRounds := digests(t, g, flavor, randomized, engine.RunGoroutinePerNode)
+			if gotRounds != wantRounds {
+				t.Errorf("%s/%s goroutine-per-node: rounds = %d, want %d", name, flavor, gotRounds, wantRounds)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s/%s goroutine-per-node: node %d digest mismatch", name, flavor, v)
+				}
+			}
+		}
+	}
+}
+
+type neverDone struct{ degree int }
+
+func (m *neverDone) Init(info engine.NodeInfo) { m.degree = info.Degree }
+func (m *neverDone) Round(recv []engine.Message) ([]engine.Message, bool) {
+	return make([]engine.Message, m.degree), false
+}
+
+func TestRoundLimit(t *testing.T) {
+	g, err := graph.NewCycle(12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := make([]engine.Machine, g.NumNodes())
+	for v := range machines {
+		machines[v] = &neverDone{}
+	}
+	rounds, err := engine.New(engine.Options{Workers: 4}).Run(g, machines, 0, false, 9)
+	if !errors.Is(err, engine.ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+	if rounds != 9 {
+		t.Fatalf("rounds = %d, want 9", rounds)
+	}
+}
+
+func TestMachineCountMismatch(t *testing.T) {
+	g, err := graph.NewCycle(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(g, make([]engine.Machine, 3), 0, false, 10); err == nil {
+		t.Fatal("expected machine/node count mismatch error")
+	}
+	if _, err := engine.RunSequential(g, make([]engine.Machine, 3), 0, false, 10); err == nil {
+		t.Fatal("expected machine/node count mismatch error (sequential)")
+	}
+}
+
+func TestDefaultOptionsRoundTrip(t *testing.T) {
+	defer engine.SetDefaultOptions(engine.Options{})
+	engine.SetDefaultOptions(engine.Options{Workers: 3, Shards: 9})
+	got := engine.DefaultOptions()
+	if got.Workers != 3 || got.Shards != 9 {
+		t.Fatalf("defaults = %+v, want Workers:3 Shards:9", got)
+	}
+}
+
+// Benchmarks: the sharded pool vs the preserved goroutine-per-node
+// baseline on the same workload. Run with -benchmem to see the
+// allocation-per-op reduction.
+
+func benchRun(b *testing.B, n int, run func(*graph.Graph, []engine.Machine, int64, bool, int) (int, error)) {
+	b.Helper()
+	g, err := graph.NewRandomRegular(n, 3, 5, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := make([]engine.Machine, g.NumNodes())
+	for v := range machines {
+		machines[v] = &gossipMachine{target: 16}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(g, machines, int64(i), false, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPool2048(b *testing.B) {
+	benchRun(b, 2048, engine.New(engine.Options{}).Run)
+}
+
+func BenchmarkGoroutinePerNode2048(b *testing.B) {
+	benchRun(b, 2048, engine.RunGoroutinePerNode)
+}
+
+func BenchmarkSequential2048(b *testing.B) {
+	benchRun(b, 2048, engine.RunSequential)
+}
+
+func ExampleEngine_Run() {
+	g, _ := graph.NewCycle(8, 1)
+	machines := make([]engine.Machine, g.NumNodes())
+	for v := range machines {
+		machines[v] = &gossipMachine{target: 3}
+	}
+	rounds, _ := engine.New(engine.Options{Workers: 2, Shards: 4}).Run(g, machines, 0, false, 10)
+	fmt.Println(rounds)
+	// Output: 3
+}

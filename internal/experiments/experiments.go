@@ -194,7 +194,7 @@ func Fig1Landscape(sc Scale) (*Result, error) {
 	addSeries("sinkless orientation", skDet, skRnd)
 
 	// Π₂: the polynomial gap of this paper (black dot in Figure 1).
-	p2Det, p2Rnd, _, err := level2Series(sc)
+	p2Det, p2Rnd, err := level2Series(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -216,11 +216,13 @@ func Fig1Landscape(sc Scale) (*Result, error) {
 	}, nil
 }
 
-// level2Series sweeps Π₂ with both solvers over balanced instances.
-func level2Series(sc Scale) (det, rnd measure.Series, ns []int, err error) {
+// level2Series sweeps Π₂ with both solvers over balanced instances. The
+// sweep closures build their instance and solver state per call, so they
+// are safe under the parallel sweep grid.
+func level2Series(sc Scale) (det, rnd measure.Series, err error) {
 	lvl, err := core.NewLevel(2)
 	if err != nil {
-		return det, rnd, nil, err
+		return det, rnd, err
 	}
 	bases := sc.paddedBases()
 	reps := sc.reps()
@@ -230,7 +232,6 @@ func level2Series(sc Scale) (det, rnd measure.Series, ns []int, err error) {
 			if err != nil {
 				return 0, err
 			}
-			ns = append(ns, inst.G.NumNodes())
 			_, cost, err := solver.Solve(inst.G, inst.In, seed)
 			if err != nil {
 				return 0, err
@@ -240,11 +241,11 @@ func level2Series(sc Scale) (det, rnd measure.Series, ns []int, err error) {
 	}
 	det, err = run(lvl.Det)
 	if err != nil {
-		return det, rnd, nil, err
+		return det, rnd, err
 	}
 	rnd, err = run(lvl.Rand)
 	if err != nil {
-		return det, rnd, nil, err
+		return det, rnd, err
 	}
 	// Replace base sizes by padded sizes in the points (the complexity
 	// is a function of N, the padded size).
@@ -258,7 +259,7 @@ func level2Series(sc Scale) (det, rnd measure.Series, ns []int, err error) {
 	}
 	fix(&det)
 	fix(&rnd)
-	return det, rnd, ns, nil
+	return det, rnd, nil
 }
 
 // Fig2Padding reproduces Figure 2: padding replaces nodes by gadgets,
@@ -625,7 +626,7 @@ func Thm11Hierarchy(sc Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	p2Det, p2Rnd, _, err := level2Series(sc)
+	p2Det, p2Rnd, err := level2Series(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -828,22 +829,8 @@ func allNodes(g *graph.Graph) []graph.NodeID {
 	return out
 }
 
-// All runs every experiment at the given scale.
+// All runs every experiment at the given scale, fanned across the
+// default parallel harness (results stay in Registry order).
 func All(sc Scale) ([]*Result, error) {
-	runs := []func(Scale) (*Result, error){
-		Fig1Landscape, Fig2Padding, Fig3SinklessChecker, Fig4PortMapping,
-		Fig5SubGadget, Fig6Gadget, Fig7ColorProof, Fig8ChainProof,
-		Thm1Transform, Thm6GadgetFamily, Thm11Hierarchy,
-		AblationBalance, AblationRandRepair, DiscussionNetDecomp,
-		LowerBoundWitness, AblationDoubling, AblationMessageProtocol,
-	}
-	var out []*Result
-	for _, run := range runs {
-		r, err := run(sc)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return (&Harness{Scale: sc}).Run()
 }

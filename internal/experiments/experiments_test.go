@@ -33,6 +33,52 @@ func TestAllQuickExperiments(t *testing.T) {
 	}
 }
 
+// TestHarnessParallelMatchesSequential renders a sweep-heavy subset of
+// the experiments through the harness at 1 and at 4 workers: every table
+// must be byte-identical, which is the determinism contract of the
+// parallel harness and of the (size × seed) sweep grid underneath it.
+func TestHarnessParallelMatchesSequential(t *testing.T) {
+	only := map[string]bool{"E-F1": true, "E-T1": true, "E-L1": true}
+	seq, err := (&Harness{Scale: Quick, Workers: 1, SweepWorkers: 1, Only: only}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&Harness{Scale: Quick, Workers: 4, SweepWorkers: 4, Only: only}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) || len(seq) != 3 {
+		t.Fatalf("result counts: seq=%d par=%d, want 3", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Fatalf("result order differs at %d: %s vs %s", i, seq[i].ID, par[i].ID)
+		}
+		if seq[i].Table != par[i].Table {
+			t.Errorf("experiment %s table differs between 1 and 4 workers:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				seq[i].ID, seq[i].Table, par[i].Table)
+		}
+	}
+}
+
+func TestHarnessUnknownID(t *testing.T) {
+	if _, err := (&Harness{Scale: Quick, Only: map[string]bool{"E-NOPE": true}}).Run(); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRegistryMatchesResultIDs(t *testing.T) {
+	for _, e := range Registry() {
+		r, err := e.Run(Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if r.ID != e.ID {
+			t.Errorf("registry id %s produced result id %s", e.ID, r.ID)
+		}
+	}
+}
+
 func TestFig3SoundnessComplete(t *testing.T) {
 	r, err := Fig3SinklessChecker(Quick)
 	if err != nil {

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"locallab/internal/measure"
+)
+
+// Experiment is one registered artifact generator: a stable identifier
+// (the E-* ids EXPERIMENTS.md references) plus its runner.
+type Experiment struct {
+	ID  string
+	Run func(Scale) (*Result, error)
+}
+
+// Registry lists every experiment in canonical order — the order All has
+// always printed them in and the order harness results come back in.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "E-F1", Run: Fig1Landscape},
+		{ID: "E-F2", Run: Fig2Padding},
+		{ID: "E-F3", Run: Fig3SinklessChecker},
+		{ID: "E-F4", Run: Fig4PortMapping},
+		{ID: "E-F5", Run: Fig5SubGadget},
+		{ID: "E-F6", Run: Fig6Gadget},
+		{ID: "E-F7", Run: Fig7ColorProof},
+		{ID: "E-F8", Run: Fig8ChainProof},
+		{ID: "E-T1", Run: Thm1Transform},
+		{ID: "E-T6", Run: Thm6GadgetFamily},
+		{ID: "E-T11", Run: Thm11Hierarchy},
+		{ID: "E-A1", Run: AblationBalance},
+		{ID: "E-A2", Run: AblationRandRepair},
+		{ID: "E-D1", Run: DiscussionNetDecomp},
+		{ID: "E-L1", Run: LowerBoundWitness},
+		{ID: "E-A3", Run: AblationDoubling},
+		{ID: "E-A4", Run: AblationMessageProtocol},
+	}
+}
+
+// Harness fans experiments across a worker pool. Two levels of
+// parallelism exist: Workers experiments run concurrently, and inside
+// each experiment the measurement sweeps fan their (size × seed) grid
+// across SweepWorkers (see measure.ParallelSweep). Pick one level to
+// widen — their product is the number of concurrent CPU-bound solves,
+// so setting both to GOMAXPROCS oversubscribes quadratically
+// (cmd/lcl-bench widens the sweep grid; All widens experiments). Both
+// levels preserve determinism: every experiment derives all randomness
+// from fixed seeds, and results always come back in Registry order.
+type Harness struct {
+	// Scale selects quick or full experiment sizes.
+	Scale Scale
+	// Workers is the experiment-level parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// SweepWorkers > 0 installs a new process-wide sweep parallelism
+	// default (measure.SetSweepWorkers) before running and does not
+	// restore the previous value — it is a global knob surfaced here
+	// because experiments call measure.Sweep directly. <= 0 leaves the
+	// current setting untouched. Outputs are identical either way; only
+	// scheduling changes.
+	SweepWorkers int
+	// Only restricts the run to the given experiment ids (nil or empty
+	// runs everything).
+	Only map[string]bool
+}
+
+// Run executes the selected experiments and returns their results in
+// Registry order. On failure it returns the completed results plus the
+// error of the earliest failing experiment, mirroring the sequential
+// behavior.
+func (h *Harness) Run() ([]*Result, error) {
+	if h.SweepWorkers > 0 {
+		measure.SetSweepWorkers(h.SweepWorkers)
+	}
+	workers := h.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var selected []Experiment
+	for _, e := range Registry() {
+		if len(h.Only) == 0 || h.Only[e.ID] {
+			selected = append(selected, e)
+		}
+	}
+	if len(h.Only) > 0 && len(selected) != len(h.Only) {
+		seen := map[string]bool{}
+		for _, e := range selected {
+			seen[e.ID] = true
+		}
+		for id := range h.Only {
+			if !seen[id] {
+				return nil, fmt.Errorf("unknown experiment id %q", id)
+			}
+		}
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	results := make([]*Result, len(selected))
+	errs := make([]error, len(selected))
+	jobs := make(chan int, len(selected))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = selected[i].Run(h.Scale)
+			}
+		}()
+	}
+	for i := range selected {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	out := make([]*Result, 0, len(selected))
+	for i, r := range results {
+		if errs[i] != nil {
+			return out, fmt.Errorf("experiment %s: %w", selected[i].ID, errs[i])
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -3,8 +3,8 @@
 //
 //  1. Synchronous message passing: computation proceeds in rounds; in each
 //     round every node sends a message through each port, receives the
-//     messages of its neighbors, and updates its state. Run drives one
-//     goroutine per node with a barrier between rounds.
+//     messages of its neighbors, and updates its state. Run executes the
+//     rounds on the sharded worker-pool runtime of internal/engine.
 //  2. View gathering: a T-round algorithm is equivalent to every node
 //     gathering its radius-T neighborhood and mapping the view to an
 //     output. Cost and the gather helpers account rounds in this
@@ -16,11 +16,10 @@
 package local
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 
+	"locallab/internal/engine"
 	"locallab/internal/graph"
 )
 
@@ -78,11 +77,7 @@ func (c *Cost) Histogram() map[int]int {
 // identifier under the given master seed. SplitMix64 scrambling keeps
 // per-node streams decorrelated.
 func DeriveRNG(masterSeed, nodeIdentifier int64) *rand.Rand {
-	z := uint64(masterSeed) + 0x9e3779b97f4a7c15*uint64(nodeIdentifier+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	return engine.DeriveRNG(masterSeed, nodeIdentifier)
 }
 
 // AdaptiveRadius drives the standard doubling schedule of view-gathering
@@ -107,107 +102,40 @@ func AdaptiveRadius(g *graph.Graph, v graph.NodeID, maxRadius int, decide func(*
 
 // Message is an opaque payload exchanged between neighbors. Implementations
 // may send nil to stay silent on a port.
-type Message interface{}
+type Message = engine.Message
 
 // NodeInfo is the initial knowledge of a node per the model: the global
 // bounds n and Δ, its own identifier and degree, and a private random
 // source (nil for deterministic machines).
-type NodeInfo struct {
-	N      int
-	Delta  int
-	ID     int64
-	Degree int
-	RNG    *rand.Rand
-}
+type NodeInfo = engine.NodeInfo
 
 // Machine is the per-node program of a synchronous message-passing
 // algorithm.
-type Machine interface {
-	// Init resets the machine with the node's initial knowledge.
-	Init(info NodeInfo)
-	// Round consumes the messages received on each port (recv[p] is the
-	// message from port p's neighbor, nil in round 0 or when silent) and
-	// returns the messages to send per port plus whether this node has
-	// terminated with its final state.
-	Round(recv []Message) (send []Message, done bool)
-}
+type Machine = engine.Machine
 
 // ErrRoundLimit is returned by Run when machines do not all terminate
 // within the round budget.
-var ErrRoundLimit = errors.New("round limit exceeded")
+var ErrRoundLimit = engine.ErrRoundLimit
 
 // Run executes machines synchronously on g until every machine reports
 // done, or maxRounds is exceeded. It returns the number of executed
-// rounds. One goroutine per node runs each round, mirroring the
-// "goroutines map naturally to synchronous message rounds" structure of
-// the simulator.
+// rounds. It is a thin compatibility wrapper over the sharded worker-pool
+// runtime of internal/engine, configured by the package-level engine
+// defaults (the -workers/-shards flags of the command binaries).
 func Run(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
-	n := g.NumNodes()
-	if len(machines) != n {
-		return 0, fmt.Errorf("run: %d machines for %d nodes", len(machines), n)
+	rounds, err := engine.Run(g, machines, masterSeed, randomized, maxRounds)
+	if err != nil && err != engine.ErrRoundLimit {
+		return rounds, fmt.Errorf("run: %w", err)
 	}
-	delta := g.MaxDegree()
-	for v := 0; v < n; v++ {
-		var rng *rand.Rand
-		if randomized {
-			rng = DeriveRNG(masterSeed, g.ID(graph.NodeID(v)))
-		}
-		machines[v].Init(NodeInfo{
-			N:      n,
-			Delta:  delta,
-			ID:     g.ID(graph.NodeID(v)),
-			Degree: g.Degree(graph.NodeID(v)),
-			RNG:    rng,
-		})
+	return rounds, err
+}
+
+// RunWith is Run on an explicit engine; a nil engine falls back to the
+// package-level defaults. Solvers expose an optional Engine field and
+// dispatch through here, so tests can inject the sequential oracle.
+func RunWith(e *engine.Engine, g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	if e == nil {
+		return Run(g, machines, masterSeed, randomized, maxRounds)
 	}
-	// inbox[v][p] is the message arriving at port p of node v.
-	inbox := make([][]Message, n)
-	outbox := make([][]Message, n)
-	done := make([]bool, n)
-	for v := 0; v < n; v++ {
-		inbox[v] = make([]Message, g.Degree(graph.NodeID(v)))
-	}
-	for round := 1; round <= maxRounds; round++ {
-		var wg sync.WaitGroup
-		for v := 0; v < n; v++ {
-			wg.Add(1)
-			go func(v int) {
-				defer wg.Done()
-				send, fin := machines[v].Round(inbox[v])
-				outbox[v] = send
-				done[v] = fin
-			}(v)
-		}
-		wg.Wait()
-		allDone := true
-		for v := 0; v < n; v++ {
-			if !done[v] {
-				allDone = false
-			}
-		}
-		if allDone {
-			return round, nil
-		}
-		// Deliver: the message sent on a half-edge arrives at the
-		// opposite half's port.
-		for v := 0; v < n; v++ {
-			for p := range inbox[v] {
-				inbox[v][p] = nil
-			}
-		}
-		for v := 0; v < n; v++ {
-			send := outbox[v]
-			for p, msg := range send {
-				if msg == nil {
-					continue
-				}
-				h := g.HalfAt(graph.NodeID(v), int32(p))
-				opp := g.OppositeHalf(h)
-				u := g.HalfNode(opp)
-				q := g.HalfPort(opp)
-				inbox[u][q] = msg
-			}
-		}
-	}
-	return maxRounds, ErrRoundLimit
+	return e.Run(g, machines, masterSeed, randomized, maxRounds)
 }

@@ -8,6 +8,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Point is one measured locality: rounds on an instance with N nodes.
@@ -108,18 +110,103 @@ func GrowthFactor(s Series, m Model) float64 {
 	return obs / mod
 }
 
+// sweepWorkers is the worker count Sweep fans its grid across; 0 means
+// sequential (1). Parallel sweeping is opt-in so that callers which are
+// already parallel at a coarser layer — the experiment harness, engine
+// pools inside solvers — do not silently multiply into oversubscription.
+// Stored atomically so command-line flag threading never races with
+// concurrently running sweeps.
+var sweepWorkers atomic.Int32
+
+// SetSweepWorkers sets the default grid parallelism of Sweep. Values
+// <= 0 restore the sequential default.
+func SetSweepWorkers(w int) { sweepWorkers.Store(int32(w)) }
+
+// SweepWorkers returns the effective default grid parallelism.
+func SweepWorkers() int {
+	if w := int(sweepWorkers.Load()); w > 0 {
+		return w
+	}
+	return 1
+}
+
 // Sweep runs the measurement at each size, averaging rounds over reps
-// seeds.
+// seeds. The (size × rep) grid is fanned across SweepWorkers() workers;
+// see ParallelSweep for the determinism contract.
 func Sweep(label string, sizes []int, reps int, run func(n int, seed int64) (int, error)) (Series, error) {
+	return ParallelSweep(label, sizes, reps, SweepWorkers(), run)
+}
+
+// cellSeed derives the measurement seed of grid cell (n, rep). Both the
+// sequential and the parallel path use it, which is what keeps sweeps
+// byte-identical across worker counts.
+func cellSeed(n, rep int) int64 { return int64(rep)*7919 + int64(n) }
+
+// ParallelSweep fans the (size × rep) measurement grid across the given
+// number of workers. Results are deterministic regardless of the worker
+// count: every grid cell gets the same derived seed the sequential sweep
+// used, cells are aggregated in grid order, and on failure the error of
+// the earliest grid cell is returned. run must therefore be safe to call
+// concurrently, which holds for measurement closures that build their
+// instance and solver per call.
+func ParallelSweep(label string, sizes []int, reps int, workers int, run func(n int, seed int64) (int, error)) (Series, error) {
 	s := Series{Label: label}
-	for _, n := range sizes {
+	if workers < 1 {
+		workers = 1
+	}
+	if reps < 1 {
+		return s, fmt.Errorf("sweep %s: reps = %d", label, reps)
+	}
+	if workers == 1 {
+		// Sequential fast path, with early exit on the first error.
+		for _, n := range sizes {
+			total := 0.0
+			for r := 0; r < reps; r++ {
+				rounds, err := run(n, cellSeed(n, r))
+				if err != nil {
+					return s, fmt.Errorf("sweep %s at n=%d rep %d: %w", label, n, r, err)
+				}
+				total += float64(rounds)
+			}
+			s.Points = append(s.Points, Point{N: n, Rounds: total / float64(reps)})
+		}
+		return s, nil
+	}
+	cells := len(sizes) * reps
+	rounds := make([]float64, cells)
+	errs := make([]error, cells)
+	jobs := make(chan int, cells)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Every dequeued cell runs to completion even after another
+			// cell has failed: skipping would let scheduling decide
+			// whether the earliest failing cell was ever observed, and
+			// the reported error must not depend on scheduling.
+			for c := range jobs {
+				n, r := sizes[c/reps], c%reps
+				got, err := run(n, cellSeed(n, r))
+				rounds[c] = float64(got)
+				errs[c] = err
+			}
+		}()
+	}
+	for c := 0; c < cells; c++ {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			return s, fmt.Errorf("sweep %s at n=%d rep %d: %w", label, sizes[c/reps], c%reps, err)
+		}
+	}
+	for i, n := range sizes {
 		total := 0.0
 		for r := 0; r < reps; r++ {
-			rounds, err := run(n, int64(r)*7919+int64(n))
-			if err != nil {
-				return s, fmt.Errorf("sweep %s at n=%d rep %d: %w", label, n, r, err)
-			}
-			total += float64(rounds)
+			total += rounds[i*reps+r]
 		}
 		s.Points = append(s.Points, Point{N: n, Rounds: total / float64(reps)})
 	}

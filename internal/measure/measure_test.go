@@ -1,8 +1,11 @@
 package measure
 
 import (
+	"errors"
 	"math"
+	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -77,6 +80,94 @@ func TestSweep(t *testing.T) {
 	}
 	if s.Points[0].Rounds < 10 || s.Points[0].Rounds > 11 {
 		t.Errorf("averaged rounds = %f", s.Points[0].Rounds)
+	}
+}
+
+// TestParallelSweepDeterministic asserts the core harness contract: the
+// series is identical for every worker count, because each grid cell gets
+// the same derived seed and aggregation happens in grid order.
+func TestParallelSweepDeterministic(t *testing.T) {
+	sizes := []int{8, 16, 32, 64}
+	run := func(n int, seed int64) (int, error) {
+		return n*3 + int(seed%13), nil
+	}
+	want, err := ParallelSweep("p", sizes, 5, 1, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7, 16, 0} {
+		got, err := ParallelSweep("p", sizes, 5, workers, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: series %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+func TestParallelSweepSeedsMatchSequential(t *testing.T) {
+	var calls atomic.Int64
+	seen := make([]int64, 4*3)
+	idx := map[[2]int]int{}
+	sizes := []int{10, 20, 30, 40}
+	for i, n := range sizes {
+		for r := 0; r < 3; r++ {
+			idx[[2]int{n, r}] = i*3 + r
+		}
+	}
+	_, err := ParallelSweep("s", sizes, 3, 4, func(n int, seed int64) (int, error) {
+		calls.Add(1)
+		// Recover the rep from the seed formula to index deterministically.
+		r := (seed - int64(n)) / 7919
+		seen[idx[[2]int{n, int(r)}]] = seed
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 12 {
+		t.Fatalf("calls = %d, want 12", calls.Load())
+	}
+	for i, n := range sizes {
+		for r := 0; r < 3; r++ {
+			if want := int64(r)*7919 + int64(n); seen[i*3+r] != want {
+				t.Errorf("cell (n=%d, rep=%d) seed = %d, want %d", n, r, seen[i*3+r], want)
+			}
+		}
+	}
+}
+
+// TestParallelSweepErrorDeterministic: when several cells fail, the error
+// reported is that of the earliest grid cell, regardless of worker
+// interleaving.
+func TestParallelSweepErrorDeterministic(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 2, 8} {
+		_, err := ParallelSweep("e", []int{1, 2, 3, 4}, 2, workers, func(n int, seed int64) (int, error) {
+			if n >= 3 {
+				return 0, boom
+			}
+			return n, nil
+		})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if !strings.Contains(err.Error(), "n=3 rep 0") {
+			t.Errorf("workers=%d: err = %v, want earliest failing cell n=3 rep 0", workers, err)
+		}
+	}
+}
+
+func TestSweepWorkersSetting(t *testing.T) {
+	defer SetSweepWorkers(0)
+	SetSweepWorkers(5)
+	if got := SweepWorkers(); got != 5 {
+		t.Fatalf("SweepWorkers = %d, want 5", got)
+	}
+	SetSweepWorkers(0)
+	if got := SweepWorkers(); got < 1 {
+		t.Fatalf("SweepWorkers auto = %d, want >= 1", got)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"locallab/internal/engine"
 	"locallab/internal/graph"
 	"locallab/internal/lcl"
 	"locallab/internal/local"
@@ -236,6 +237,10 @@ func (m *smachine) pickTarget(recv []local.Message) int {
 type MessageSolver struct {
 	// MaxRounds caps the runtime.
 	MaxRounds int
+	// Engine overrides the execution engine; nil uses the package-level
+	// engine defaults (sharded worker pool). Tests inject a sequential
+	// engine here to differential-test the sharded path.
+	Engine *engine.Engine
 }
 
 var _ lcl.Solver = &MessageSolver{}
@@ -261,7 +266,7 @@ func (s *MessageSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lc
 		machines[v] = sm
 		states[v] = sm
 	}
-	rounds, err := local.Run(g, machines, seed, true, s.MaxRounds)
+	rounds, err := local.RunWith(s.Engine, g, machines, seed, true, s.MaxRounds)
 	if err != nil {
 		return nil, nil, fmt.Errorf("message solver: %w", err)
 	}
