@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lcl-bench [-quick] [-only E-F1,E-T11] [-workers 8] [-shards 32]
+//	lcl-bench [-quick] [-only E-F1,E-T11] [-workers 8] [-shards 32] [-json out.json]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"locallab/internal/engine"
 	"locallab/internal/experiments"
+	"locallab/internal/scenario"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment ids to run (default all)")
 	workers := fs.Int("workers", 0, "sweep-grid workers: the (size × seed) cells of each measurement sweep run this wide (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "engine node shards for message-passing solvers (0 = auto)")
+	jsonOut := fs.String("json", "", "also write the experiment tables as a machine-readable report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +73,16 @@ func run(args []string) error {
 			fmt.Printf("note: %s\n", n)
 		}
 		fmt.Println()
+	}
+	if *jsonOut != "" {
+		name := "experiments-full"
+		if *quick {
+			name = "experiments-quick"
+		}
+		if err := scenario.ExperimentReport(name, results).WriteFile(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Println("report written to", *jsonOut)
 	}
 	return nil
 }

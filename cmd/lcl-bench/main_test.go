@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunQuickSubset(t *testing.T) {
 	if err := run([]string{"-quick", "-only", "E-F2,E-F5"}); err != nil {
@@ -17,5 +22,33 @@ func TestRunQuickSubsetParallel(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-quick", "-only", "E-NOPE"}); err == nil {
 		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-only", "E-F2,E-F5", "-json", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema      string `json:"schema"`
+		Tool        string `json:"tool"`
+		Experiments []struct {
+			ID    string `json:"id"`
+			Table string `json:"table"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "lcl-bench" || rep.Schema == "" {
+		t.Fatalf("report envelope = %+v", rep)
+	}
+	if len(rep.Experiments) != 2 || rep.Experiments[0].ID != "E-F2" || rep.Experiments[0].Table == "" {
+		t.Fatalf("experiments = %+v", rep.Experiments)
 	}
 }

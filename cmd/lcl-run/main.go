@@ -94,7 +94,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lcl-run", flag.ContinueOnError)
 	probName := fs.String("problem", "sinkless-det", "problem/solver to run (see -list)")
-	family := fs.String("graph", "", "graph family: cycle, regular, bitrev, torus, hypercube (default per problem)")
+	family := fs.String("graph", "", "graph family from the registry (cycle, regular, bitrev, torus, hypercube, ..., plus -advid variants; default per problem)")
 	n := fs.Int("n", 256, "instance size (base-graph size for padded problems)")
 	seed := fs.Int64("seed", 1, "instance and solver seed")
 	list := fs.Bool("list", false, "list problems and exit")
@@ -124,7 +124,7 @@ func run(args []string) error {
 	if *family == "" {
 		*family = j.defaults
 	}
-	if j.cycleOnly && *family != "cycle" {
+	if j.cycleOnly && *family != "cycle" && *family != "cycle-advid" {
 		return fmt.Errorf("problem %q runs on cycles only", *probName)
 	}
 
@@ -192,34 +192,8 @@ func run(args []string) error {
 	return nil
 }
 
+// buildGraph resolves the family through the registry shared with the
+// scenario subsystem (internal/graph.Families).
 func buildGraph(family string, n int, seed int64) (*graph.Graph, error) {
-	switch family {
-	case "cycle":
-		return graph.NewCycle(n, seed)
-	case "regular":
-		if n%2 == 1 {
-			n++
-		}
-		return graph.NewRandomRegular(n, 3, seed, false)
-	case "bitrev":
-		h := 2
-		for (1<<h)-1 < n {
-			h++
-		}
-		return graph.NewBitrevTree(h, seed)
-	case "torus":
-		side := 3
-		for side*side < n {
-			side++
-		}
-		return graph.NewTorus(side, side, seed)
-	case "hypercube":
-		d := 1
-		for 1<<d < n {
-			d++
-		}
-		return graph.NewHypercube(d, seed)
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", family)
-	}
+	return graph.BuildFamily(family, n, seed)
 }

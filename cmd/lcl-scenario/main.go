@@ -1,0 +1,130 @@
+// Command lcl-scenario runs declarative workload scenarios: a JSON spec
+// (or a builtin from the library) names graph families, size × seed
+// grids, solvers, and engine parameters; the runner executes the grids
+// on the sharded engine and emits a structured report whose canonical
+// JSON is byte-identical across runs and worker counts — the format the
+// CI benchmark artifact records.
+//
+// Usage:
+//
+//	lcl-scenario -builtin ci-smoke -json bench.json
+//	lcl-scenario -spec workload.json -workers 8
+//	lcl-scenario -builtin regular -shards 64 -timing
+//	lcl-scenario -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"locallab/internal/graph"
+	"locallab/internal/measure"
+	"locallab/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lcl-scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("lcl-scenario", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to a scenario spec (JSON); see -list for builtins instead")
+	builtin := fs.String("builtin", "", "run a builtin spec by name (see -list)")
+	list := fs.Bool("list", false, "list builtin specs, graph families, and solvers, then exit")
+	jsonOut := fs.String("json", "", "write the canonical JSON report to this file ('-' for stdout)")
+	workers := fs.Int("workers", 0, "grid workers: each scenario's (size × seed) cells run this wide (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "override engine shards for engine-aware solvers (0 = spec values; outputs identical either way)")
+	timing := fs.Bool("timing", false, "record per-cell wall time in the report (makes reports non-byte-identical)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		printList(stdout)
+		return nil
+	}
+	spec, err := selectSpec(*specPath, *builtin)
+	if err != nil {
+		return err
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	rep, err := scenario.Run(spec, scenario.RunOptions{
+		GridWorkers:   *workers,
+		ShardOverride: *shards,
+		Timing:        *timing,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut == "-" {
+		data, err := rep.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(data)
+		return err
+	}
+	printReport(stdout, rep)
+	if *jsonOut != "" {
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "report written to", *jsonOut)
+	}
+	return nil
+}
+
+func selectSpec(specPath, builtin string) (*scenario.Spec, error) {
+	switch {
+	case specPath != "" && builtin != "":
+		return nil, fmt.Errorf("-spec and -builtin are mutually exclusive")
+	case specPath != "":
+		return scenario.LoadFile(specPath)
+	case builtin != "":
+		spec, ok := scenario.Builtin(builtin)
+		if !ok {
+			return nil, fmt.Errorf("unknown builtin %q (use -list)", builtin)
+		}
+		return spec, nil
+	default:
+		return nil, fmt.Errorf("nothing to run: pass -spec or -builtin (use -list)")
+	}
+}
+
+func printList(w *os.File) {
+	fmt.Fprintln(w, "builtin specs:")
+	for _, s := range scenario.Builtins() {
+		fmt.Fprintf(w, "  %-18s %d scenarios\n", s.Name, len(s.Scenarios))
+	}
+	fmt.Fprintln(w, "\ngraph families:")
+	for _, f := range graph.Families() {
+		fmt.Fprintf(w, "  %-18s min %-5d %s\n", f.Name, f.MinSize, f.Description)
+	}
+	fmt.Fprintf(w, "  %-18s min %-5d %s\n", scenario.PaddedFamily, scenario.PaddedMinSize,
+		"level-2 padded hierarchy instances (sizes are base-graph nodes)")
+	fmt.Fprintln(w, "\nsolvers:")
+	for _, s := range scenario.Solvers() {
+		fmt.Fprintf(w, "  %-18s %s\n", s.Name, s.Description)
+	}
+}
+
+func printReport(w *os.File, rep *scenario.Report) {
+	for _, sr := range rep.Scenarios {
+		fmt.Fprintf(w, "## %s — %s on %s\n\n", sr.Name, sr.Solver, sr.Family)
+		headers := []string{"n", "seed", "nodes", "edges", "rounds", "messages", "checksum"}
+		rows := make([][]string, len(sr.Cells))
+		for i, c := range sr.Cells {
+			rows[i] = []string{
+				fmt.Sprint(c.N), fmt.Sprint(c.Seed), fmt.Sprint(c.Nodes), fmt.Sprint(c.Edges),
+				fmt.Sprint(c.Rounds), fmt.Sprint(c.Messages), c.Checksum,
+			}
+		}
+		fmt.Fprintln(w, measure.Table(headers, rows))
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCISmokeByteIdentical is the CLI-level acceptance check: the JSON
+// report of the ci-smoke builtin is byte-identical across repeated runs
+// and across -workers settings.
+func TestCISmokeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		filepath.Join(dir, "a.json"),
+		filepath.Join(dir, "b.json"),
+		filepath.Join(dir, "c.json"),
+	}
+	argSets := [][]string{
+		{"-builtin", "ci-smoke", "-json", paths[0], "-workers", "1"},
+		{"-builtin", "ci-smoke", "-json", paths[1], "-workers", "8"},
+		{"-builtin", "ci-smoke", "-json", paths[2], "-workers", "1", "-shards", "13"},
+	}
+	var first []byte
+	for i, args := range argSets {
+		if err := run(args, os.Stdout); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		data, err := os.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%v: empty report", args)
+		}
+		if i == 0 {
+			first = data
+			continue
+		}
+		if string(data) != string(first) {
+			t.Fatalf("%v: report differs from the first run", args)
+		}
+	}
+}
+
+func TestSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	out := filepath.Join(dir, "out.json")
+	doc := `{
+	  "name": "custom",
+	  "scenarios": [
+	    {"name": "cv", "family": "cycle", "solver": "cole-vishkin", "sizes": [32, 64], "seeds": [5]},
+	    {"name": "nd", "family": "tree-advid", "solver": "netdecomp", "sizes": [31], "seeds": [1]}
+	  ]
+	}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", spec, "-json", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-builtin", "nope"},
+		{"-spec", "does-not-exist.json"},
+		{"-spec", "x.json", "-builtin", "ci-smoke"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("%v: expected error", args)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"locallab/internal/engine"
 	"locallab/internal/graph"
 	"locallab/internal/lcl"
+	"locallab/internal/scenario"
 	"locallab/internal/sinkless"
 )
 
@@ -144,6 +145,38 @@ func TestShardedEngineMatchesSequentialColoring(t *testing.T) {
 					t.Fatalf("n=%d seed=%d %+v: sharded coloring differs from sequential oracle", n, seed, opts)
 				}
 			}
+		}
+	}
+}
+
+// TestScenarioReportReplays extends the determinism suite to the
+// scenario subsystem: the full declarative pipeline — spec → family
+// builders → solvers → report — must emit byte-identical canonical JSON
+// across runs and grid worker counts.
+func TestScenarioReportReplays(t *testing.T) {
+	spec := &scenario.Spec{Name: "determinism", Scenarios: []scenario.Scenario{
+		{Name: "msg", Family: "regular", Solver: "sinkless-msg",
+			Sizes: []int{64, 128}, Seeds: []int64{3, 4},
+			Engine: scenario.EngineParams{Workers: 2, Shards: 8}},
+		{Name: "cv", Family: "cycle-advid", Solver: "cole-vishkin",
+			Sizes: []int{65}, Seeds: []int64{1}},
+	}}
+	var first []byte
+	for _, workers := range []int{1, 4, 1} {
+		rep, err := scenario.Run(spec, scenario.RunOptions{GridWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = data
+			continue
+		}
+		if string(data) != string(first) {
+			t.Fatalf("workers=%d: scenario report bytes changed", workers)
 		}
 	}
 }

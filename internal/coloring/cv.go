@@ -124,6 +124,10 @@ type CVSolver struct {
 	// Engine overrides the execution engine; nil uses the package-level
 	// engine defaults (sharded worker pool).
 	Engine *engine.Engine
+	// LastStats is the execution profile of the most recent successful
+	// Solve (see engine.Stats). Callers that read it must not share one
+	// solver across goroutines.
+	LastStats engine.Stats
 }
 
 var _ lcl.Solver = &CVSolver{}
@@ -146,10 +150,12 @@ func (s *CVSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Lab
 	for v := range machines {
 		machines[v] = &cvMachine{}
 	}
-	rounds, err := local.RunWith(s.Engine, g, machines, seed, false, s.MaxRounds)
+	stats, err := local.RunStatsWith(s.Engine, g, machines, seed, false, s.MaxRounds)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cole-vishkin runtime: %w", err)
 	}
+	rounds := stats.Rounds
+	s.LastStats = stats
 	out := lcl.NewLabeling(g)
 	for v := range machines {
 		c := machines[v].(*cvMachine).color

@@ -69,6 +69,11 @@ func (l *Level) Verify(g *graph.Graph, in, out *lcl.Labeling) error {
 	return lcl.Verify(g, l.Problem, in, out)
 }
 
+// MinBaseNodes is the smallest accepted base-graph size for hierarchy
+// instances (BuildInstance rejects smaller; the scenario subsystem's
+// "padded" pseudo-family advertises the same floor).
+const MinBaseNodes = 4
+
 // InstanceOptions controls hierarchy instance construction.
 type InstanceOptions struct {
 	// BaseNodes is the size of the level-1 base graph (a random
@@ -104,8 +109,8 @@ func BuildInstance(level int, opts InstanceOptions) (*Instance, error) {
 	if level < 1 {
 		return nil, fmt.Errorf("build instance: level %d < 1", level)
 	}
-	if opts.BaseNodes < 4 {
-		return nil, fmt.Errorf("build instance: base nodes %d < 4", opts.BaseNodes)
+	if opts.BaseNodes < MinBaseNodes {
+		return nil, fmt.Errorf("build instance: base nodes %d < %d", opts.BaseNodes, MinBaseNodes)
 	}
 	n := opts.BaseNodes
 	if n%2 == 1 {

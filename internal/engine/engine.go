@@ -123,6 +123,23 @@ func DefaultOptions() Options {
 	}
 }
 
+// Stats profiles one Run: the executed rounds, the number of non-nil
+// messages that crossed edges over all delivery phases, and the effective
+// pool geometry. Deliveries is a property of the algorithm's execution,
+// not of the scheduling — it is byte-identical across every Workers/
+// Shards setting and equals the sequential reference count, so it is safe
+// to record in deterministic reports.
+type Stats struct {
+	// Rounds is the number of executed rounds (what Run returns).
+	Rounds int
+	// Deliveries counts non-nil messages delivered across all rounds.
+	Deliveries int64
+	// Workers and Shards are the effective pool geometry (1/1 for the
+	// sequential reference path).
+	Workers int
+	Shards  int
+}
+
 // Run executes machines on g with the package-level default options.
 func Run(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
 	return New(DefaultOptions()).Run(g, machines, masterSeed, randomized, maxRounds)
@@ -138,9 +155,17 @@ func RunSequential(g *graph.Graph, machines []Machine, masterSeed int64, randomi
 // done, or maxRounds is exceeded. It returns the number of executed
 // rounds.
 func (e *Engine) Run(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	st, err := e.RunStats(g, machines, masterSeed, randomized, maxRounds)
+	return st.Rounds, err
+}
+
+// RunStats is Run plus the execution profile of the run. On error the
+// returned Stats still describe the partial execution (rounds executed so
+// far, deliveries counted so far).
+func (e *Engine) RunStats(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (Stats, error) {
 	n := g.NumNodes()
 	if len(machines) != n {
-		return 0, fmt.Errorf("engine: %d machines for %d nodes", len(machines), n)
+		return Stats{}, fmt.Errorf("engine: %d machines for %d nodes", len(machines), n)
 	}
 	if e.opts.Sequential {
 		return runSequential(g, machines, masterSeed, randomized, maxRounds)
@@ -194,6 +219,14 @@ func (e *Engine) Run(g *graph.Graph, machines []Machine, masterSeed int64, rando
 		wg.Wait()
 	}
 
+	stats := Stats{Workers: workers, Shards: shards}
+	sumDelivered := func() int64 {
+		var total int64
+		for i := range st.shardDelivered {
+			total += st.shardDelivered[i].v
+		}
+		return total
+	}
 	dispatch(phaseInit)
 	for round := 1; round <= maxRounds; round++ {
 		dispatch(phaseCompute)
@@ -205,12 +238,16 @@ func (e *Engine) Run(g *graph.Graph, machines []Machine, masterSeed int64, rando
 			}
 		}
 		if allDone {
-			return round, nil
+			stats.Rounds = round
+			stats.Deliveries = sumDelivered()
+			return stats, nil
 		}
 		dispatch(phaseDeliver)
 		st.cur, st.nxt = st.nxt, st.cur
 	}
-	return maxRounds, ErrRoundLimit
+	stats.Rounds = maxRounds
+	stats.Deliveries = sumDelivered()
+	return stats, ErrRoundLimit
 }
 
 // Execution phases of the round loop.
@@ -234,6 +271,13 @@ type paddedBool struct {
 	_ [63]byte
 }
 
+// paddedCount keeps per-shard counters on separate cache lines for the
+// same reason.
+type paddedCount struct {
+	v int64
+	_ [56]byte
+}
+
 // runState is the per-Run scratch space: route table, the double-buffered
 // message plane, and the reused outbox. Everything is allocated once.
 type runState struct {
@@ -250,8 +294,9 @@ type runState struct {
 	nxt    []Message
 	outbox [][]Message
 
-	shardLo   []int // shardLo[s]..shardLo[s+1] is shard s's node range
-	shardDone []paddedBool
+	shardLo        []int // shardLo[s]..shardLo[s+1] is shard s's node range
+	shardDone      []paddedBool
+	shardDelivered []paddedCount // non-nil deliveries routed into each shard
 
 	phase int
 }
@@ -259,16 +304,17 @@ type runState struct {
 func newRunState(g *graph.Graph, machines []Machine, seed int64, randomized bool, shards int) *runState {
 	n := g.NumNodes()
 	st := &runState{
-		g:          g,
-		machines:   machines,
-		seed:       seed,
-		randomized: randomized,
-		n:          n,
-		delta:      g.MaxDegree(),
-		off:        make([]int, n+1),
-		outbox:     make([][]Message, n),
-		shardLo:    make([]int, shards+1),
-		shardDone:  make([]paddedBool, shards),
+		g:              g,
+		machines:       machines,
+		seed:           seed,
+		randomized:     randomized,
+		n:              n,
+		delta:          g.MaxDegree(),
+		off:            make([]int, n+1),
+		outbox:         make([][]Message, n),
+		shardLo:        make([]int, shards+1),
+		shardDone:      make([]paddedBool, shards),
+		shardDelivered: make([]paddedCount, shards),
 	}
 	for v := 0; v < n; v++ {
 		st.off[v+1] = st.off[v] + g.Degree(graph.NodeID(v))
@@ -330,6 +376,7 @@ func (st *runState) computeShard(s int) {
 // plane is overwritten, so no clearing pass is needed, and no two workers
 // ever write the same slot.
 func (st *runState) deliverShard(s int) {
+	delivered := int64(0)
 	for v := st.shardLo[s]; v < st.shardLo[s+1]; v++ {
 		in := st.nxt[st.off[v]:st.off[v+1]]
 		rt := st.route[st.off[v]:st.off[v+1]]
@@ -337,20 +384,27 @@ func (st *runState) deliverShard(s int) {
 			src := rt[p]
 			if ob := st.outbox[src.node]; int(src.port) < len(ob) {
 				in[p] = ob[src.port]
+				if in[p] != nil {
+					delivered++
+				}
 			} else {
 				in[p] = nil
 			}
 		}
 	}
+	st.shardDelivered[s].v += delivered
 }
 
 // runSequential is the reference implementation: a direct, goroutine-free
 // transcription of the model semantics (and of the original simulator
 // loop). It exists so the sharded path always has an in-tree oracle to be
-// differential-tested against.
-func runSequential(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+// differential-tested against — including for Stats.Deliveries, which it
+// counts sender-side (every non-nil message sent crosses exactly one
+// edge, so the count equals the sharded path's receiver-side count).
+func runSequential(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (Stats, error) {
 	n := g.NumNodes()
 	delta := g.MaxDegree()
+	stats := Stats{Workers: 1, Shards: 1}
 	for v := 0; v < n; v++ {
 		var rng *rand.Rand
 		if randomized {
@@ -379,7 +433,8 @@ func runSequential(g *graph.Graph, machines []Machine, masterSeed int64, randomi
 			}
 		}
 		if allDone {
-			return round, nil
+			stats.Rounds = round
+			return stats, nil
 		}
 		// Deliver: the message sent on a half-edge arrives at the
 		// opposite half's port.
@@ -396,10 +451,12 @@ func runSequential(g *graph.Graph, machines []Machine, masterSeed int64, randomi
 				h := g.HalfAt(graph.NodeID(v), int32(p))
 				opp := g.OppositeHalf(h)
 				inbox[g.HalfNode(opp)][g.HalfPort(opp)] = msg
+				stats.Deliveries++
 			}
 		}
 	}
-	return maxRounds, ErrRoundLimit
+	stats.Rounds = maxRounds
+	return stats, ErrRoundLimit
 }
 
 // RunGoroutinePerNode preserves the original simulator loop — one

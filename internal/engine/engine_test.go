@@ -195,6 +195,48 @@ func TestShardedMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRunStatsMatchesSequential: the execution profile is deterministic —
+// deliveries and rounds are identical across every pool geometry and
+// equal the sequential reference's sender-side count.
+func TestRunStatsMatchesSequential(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, flavor := range []string{"gossip", "silent"} {
+			newMachines := func() []engine.Machine {
+				machines := make([]engine.Machine, g.NumNodes())
+				for v := range machines {
+					if flavor == "gossip" {
+						machines[v] = &gossipMachine{target: 20}
+					} else {
+						machines[v] = &silentMachine{gossipMachine: gossipMachine{target: 20}}
+					}
+				}
+				return machines
+			}
+			seq := engine.New(engine.Options{Sequential: true})
+			want, err := seq.RunStats(g, newMachines(), 42, false, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Workers != 1 || want.Shards != 1 {
+				t.Errorf("%s/%s: sequential geometry = %d/%d, want 1/1", name, flavor, want.Workers, want.Shards)
+			}
+			if flavor == "gossip" && want.Deliveries == 0 && g.NumEdges() > 0 {
+				t.Errorf("%s/%s: sequential deliveries = 0", name, flavor)
+			}
+			for _, opts := range []engine.Options{{Workers: 1, Shards: 1}, {Workers: 3, Shards: 7}, {Workers: 8, Shards: 32}} {
+				got, err := engine.New(opts).RunStats(g, newMachines(), 42, false, 100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Rounds != want.Rounds || got.Deliveries != want.Deliveries {
+					t.Errorf("%s/%s %+v: stats rounds=%d deliveries=%d, want rounds=%d deliveries=%d",
+						name, flavor, opts, got.Rounds, got.Deliveries, want.Rounds, want.Deliveries)
+				}
+			}
+		}
+	}
+}
+
 type neverDone struct{ degree int }
 
 func (m *neverDone) Init(info engine.NodeInfo) { m.degree = info.Degree }

@@ -38,33 +38,43 @@ const (
 	Full  Scale = 2
 )
 
-func (s Scale) cycleSizes() []int {
-	if s == Quick {
-		return []int{64, 256, 1024}
-	}
-	return []int{64, 256, 1024, 4096, 16384}
+// SizeTable is the canonical instance-size grid of a Scale: the single
+// source of truth for the sweep sizes the experiments run at, shared
+// with the scenario subsystem's builtin specs (internal/scenario).
+type SizeTable struct {
+	// Cycle sizes for the cycle-family sweeps.
+	Cycle []int
+	// Regular sizes for the random-3-regular sweeps.
+	Regular []int
+	// PaddedBases are base-graph sizes for padded (Π₂) instances.
+	PaddedBases []int
+	// Reps is the number of seed repetitions per size.
+	Reps int
 }
 
-func (s Scale) regularSizes() []int {
+// Sizes returns the scale's size tables. Quick is what benchmarks and CI
+// use; Full regenerates the paper's tables.
+func (s Scale) Sizes() SizeTable {
 	if s == Quick {
-		return []int{64, 256, 1024}
+		return SizeTable{
+			Cycle:       []int{64, 256, 1024},
+			Regular:     []int{64, 256, 1024},
+			PaddedBases: []int{12, 24, 48},
+			Reps:        1,
+		}
 	}
-	return []int{128, 512, 2048, 8192}
+	return SizeTable{
+		Cycle:       []int{64, 256, 1024, 4096, 16384},
+		Regular:     []int{128, 512, 2048, 8192},
+		PaddedBases: []int{16, 32, 64, 128},
+		Reps:        3,
+	}
 }
 
-func (s Scale) paddedBases() []int {
-	if s == Quick {
-		return []int{12, 24, 48}
-	}
-	return []int{16, 32, 64, 128}
-}
-
-func (s Scale) reps() int {
-	if s == Quick {
-		return 1
-	}
-	return 3
-}
+func (s Scale) cycleSizes() []int   { return s.Sizes().Cycle }
+func (s Scale) regularSizes() []int { return s.Sizes().Regular }
+func (s Scale) paddedBases() []int  { return s.Sizes().PaddedBases }
+func (s Scale) reps() int           { return s.Sizes().Reps }
 
 // solveRounds runs a solver on a fresh instance and returns the measured
 // rounds.

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Family is a named, seeded instance generator — the unit the scenario
+// subsystem's declarative specs select graphs by. Build constructs an
+// instance with at least the requested number of nodes; families whose
+// structure quantizes sizes (trees, tori, hypercubes) round up to the
+// nearest realizable size, so reports record both the requested and the
+// actual node count.
+type Family struct {
+	// Name is the registry key used by scenario specs.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// MinSize is the smallest accepted requested size.
+	MinSize int
+	// Build constructs the instance for a requested size and seed. The
+	// same (n, seed) pair always yields the same graph.
+	Build func(n int, seed int64) (*Graph, error)
+}
+
+// baseFamilies lists the concrete generators in canonical order.
+func baseFamilies() []Family {
+	return []Family{
+		{
+			Name:        "cycle",
+			Description: "the cycle C_n",
+			MinSize:     3,
+			Build:       NewCycle,
+		},
+		{
+			Name:        "path",
+			Description: "the path P_n",
+			MinSize:     2,
+			Build:       NewPath,
+		},
+		{
+			Name:        "regular",
+			Description: "random 3-regular multigraph (configuration model; odd sizes round up)",
+			MinSize:     4,
+			Build: func(n int, seed int64) (*Graph, error) {
+				if n%2 == 1 {
+					n++
+				}
+				return NewRandomRegular(n, 3, seed, false)
+			},
+		},
+		{
+			Name:        "tree",
+			Description: "complete binary tree (size rounds up to 2^h - 1)",
+			MinSize:     3,
+			Build: func(n int, seed int64) (*Graph, error) {
+				h := 2
+				for (1<<h)-1 < n {
+					h++
+				}
+				return NewCompleteBinaryTree(h, seed)
+			},
+		},
+		{
+			Name:        "bitrev",
+			Description: "bit-reversal leaf-cycle tree, the deterministic sinkless hard family (size rounds up to 2^h - 1)",
+			MinSize:     7,
+			Build: func(n int, seed int64) (*Graph, error) {
+				h := 3
+				for (1<<h)-1 < n {
+					h++
+				}
+				return NewBitrevTree(h, seed)
+			},
+		},
+		{
+			Name:        "torus",
+			Description: "square 2D torus grid, degree 4 (size rounds up to side²)",
+			MinSize:     9,
+			Build: func(n int, seed int64) (*Graph, error) {
+				side := int(math.Ceil(math.Sqrt(float64(n))))
+				if side < 3 {
+					side = 3
+				}
+				return NewTorus(side, side, seed)
+			},
+		},
+		{
+			Name:        "hypercube",
+			Description: "d-dimensional hypercube Q_d (size rounds up to 2^d)",
+			MinSize:     2,
+			Build: func(n int, seed int64) (*Graph, error) {
+				d := 1
+				for 1<<d < n {
+					d++
+				}
+				return NewHypercube(d, seed)
+			},
+		},
+	}
+}
+
+// advID wraps a family with adversarial identifier placement: identifiers
+// are re-assigned sequentially in construction order, producing monotone
+// ID gradients along the structure (consecutive IDs on neighboring nodes)
+// instead of the shuffled placement the base generators use. This is the
+// classic hard placement for ID-based symmetry breaking — Cole–Vishkin
+// starts from maximally-overlapping bit patterns and ID-descent rules
+// face long monotone paths.
+func advID(f Family) Family {
+	base := f.Build
+	return Family{
+		Name:        f.Name + "-advid",
+		Description: f.Description + "; adversarial sequential-ID placement",
+		MinSize:     f.MinSize,
+		Build: func(n int, seed int64) (*Graph, error) {
+			g, err := base(n, seed)
+			if err != nil {
+				return nil, err
+			}
+			return SequentialIDs(g), nil
+		},
+	}
+}
+
+// Families returns the registry in canonical order: every base family
+// followed by its adversarial-ID variant.
+func Families() []Family {
+	bases := baseFamilies()
+	out := make([]Family, 0, 2*len(bases))
+	out = append(out, bases...)
+	for _, f := range bases {
+		out = append(out, advID(f))
+	}
+	return out
+}
+
+// FamilyByName looks a family up by its registry name.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// FamilyNames returns the registry names in canonical order.
+func FamilyNames() []string {
+	fams := Families()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// SequentialIDs rebuilds g with identifiers assigned sequentially in node
+// order (node v gets identifier v+1), preserving node order, edge order,
+// and therefore port numbering exactly.
+func SequentialIDs(g *Graph) *Graph {
+	b := NewBuilder(g.NumNodes(), g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		b.MustAddNode(int64(v + 1))
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(EdgeID(e))
+		b.MustAddEdge(ed.U.Node, ed.V.Node)
+	}
+	return b.MustBuild()
+}
+
+// BuildFamily is a convenience lookup-and-build; it reports unknown
+// families and undersized requests with the exact messages the scenario
+// spec validator relies on.
+func BuildFamily(name string, n int, seed int64) (*Graph, error) {
+	f, ok := FamilyByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown graph family %q", name)
+	}
+	if n < f.MinSize {
+		return nil, fmt.Errorf("family %q: size %d below minimum %d", name, n, f.MinSize)
+	}
+	return f.Build(n, seed)
+}

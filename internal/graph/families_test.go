@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFamiliesRegistry(t *testing.T) {
+	fams := Families()
+	if len(fams) == 0 {
+		t.Fatal("no families registered")
+	}
+	seen := map[string]bool{}
+	advid := 0
+	for _, f := range fams {
+		if seen[f.Name] {
+			t.Fatalf("duplicate family name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if strings.HasSuffix(f.Name, "-advid") {
+			advid++
+			if !seen[strings.TrimSuffix(f.Name, "-advid")] {
+				t.Errorf("advid variant %q has no base family", f.Name)
+			}
+		}
+	}
+	if advid*2 != len(fams) {
+		t.Errorf("want one adversarial-ID variant per base family, got %d variants of %d families", advid, len(fams))
+	}
+	for _, name := range []string{"cycle", "regular", "tree", "torus", "cycle-advid", "regular-advid"} {
+		if _, ok := FamilyByName(name); !ok {
+			t.Errorf("family %q missing", name)
+		}
+	}
+	if _, ok := FamilyByName("nope"); ok {
+		t.Error("FamilyByName accepted unknown name")
+	}
+}
+
+// TestFamiliesBuild: every family builds at its minimum and at a larger
+// size, meets the requested size, and replays byte-identically for the
+// same (n, seed).
+func TestFamiliesBuild(t *testing.T) {
+	for _, f := range Families() {
+		for _, n := range []int{f.MinSize, f.MinSize + 13} {
+			g, err := f.Build(n, 7)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", f.Name, n, err)
+			}
+			if g.NumNodes() < n {
+				t.Errorf("%s n=%d: built %d nodes, want >= n", f.Name, n, g.NumNodes())
+			}
+			again, err := f.Build(n, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(g, again) {
+				t.Errorf("%s n=%d: rebuild with same seed differs", f.Name, n)
+			}
+		}
+	}
+}
+
+func TestSequentialIDs(t *testing.T) {
+	g, err := NewCycle(17, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SequentialIDs(g)
+	if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
+		t.Fatal("SequentialIDs changed the shape")
+	}
+	for v := 0; v < s.NumNodes(); v++ {
+		if s.ID(NodeID(v)) != int64(v+1) {
+			t.Fatalf("node %d id = %d, want %d", v, s.ID(NodeID(v)), v+1)
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.Edge(EdgeID(e)) != s.Edge(EdgeID(e)) {
+			t.Fatalf("edge %d changed", e)
+		}
+	}
+}
+
+func TestBuildFamilyErrors(t *testing.T) {
+	if _, err := BuildFamily("nope", 10, 1); err == nil || !strings.Contains(err.Error(), `unknown graph family "nope"`) {
+		t.Errorf("unknown family err = %v", err)
+	}
+	if _, err := BuildFamily("cycle", 2, 1); err == nil || !strings.Contains(err.Error(), "below minimum 3") {
+		t.Errorf("undersized err = %v", err)
+	}
+	if _, err := BuildFamily("torus", 50, 1); err != nil {
+		t.Errorf("torus 50: %v", err)
+	}
+}

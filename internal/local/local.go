@@ -134,8 +134,20 @@ func Run(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, 
 // package-level defaults. Solvers expose an optional Engine field and
 // dispatch through here, so tests can inject the sequential oracle.
 func RunWith(e *engine.Engine, g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	st, err := RunStatsWith(e, g, machines, masterSeed, randomized, maxRounds)
+	return st.Rounds, err
+}
+
+// RunStatsWith is RunWith plus the engine's execution profile (rounds,
+// message deliveries, pool geometry). The profile is deterministic for a
+// given run — see engine.Stats — so reports may record it.
+func RunStatsWith(e *engine.Engine, g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (engine.Stats, error) {
 	if e == nil {
-		return Run(g, machines, masterSeed, randomized, maxRounds)
+		e = engine.New(engine.DefaultOptions())
 	}
-	return e.Run(g, machines, masterSeed, randomized, maxRounds)
+	st, err := e.RunStats(g, machines, masterSeed, randomized, maxRounds)
+	if err != nil && err != engine.ErrRoundLimit {
+		return st, fmt.Errorf("run: %w", err)
+	}
+	return st, err
 }

@@ -142,40 +142,59 @@ func Sweep(label string, sizes []int, reps int, run func(n int, seed int64) (int
 // byte-identical across worker counts.
 func cellSeed(n, rep int) int64 { return int64(rep)*7919 + int64(n) }
 
-// ParallelSweep fans the (size × rep) measurement grid across the given
-// number of workers. Results are deterministic regardless of the worker
-// count: every grid cell gets the same derived seed the sequential sweep
-// used, cells are aggregated in grid order, and on failure the error of
-// the earliest grid cell is returned. run must therefore be safe to call
-// concurrently, which holds for measurement closures that build their
-// instance and solver per call.
-func ParallelSweep(label string, sizes []int, reps int, workers int, run func(n int, seed int64) (int, error)) (Series, error) {
-	s := Series{Label: label}
+// CellSpec identifies one cell of a measurement grid: an instance size
+// paired with the seed that derives the instance and any solver
+// randomness.
+type CellSpec struct {
+	N    int
+	Seed int64
+}
+
+// Cell is one completed grid measurement.
+type Cell struct {
+	Spec   CellSpec
+	Rounds int
+}
+
+// ParallelCells fans an explicit measurement grid across the given number
+// of workers and returns one Cell per spec, in spec order. The results
+// are deterministic regardless of the worker count: every cell runs with
+// exactly the spec it was given, results come back in grid order, and on
+// failure the error of the earliest grid cell is returned (wrapped with
+// that cell's coordinates). run must be safe to call concurrently, which
+// holds for measurement closures that build their instance and solver per
+// call. It is the primitive both ParallelSweep and the scenario runner
+// are built on.
+func ParallelCells(label string, specs []CellSpec, workers int, run func(c CellSpec) (int, error)) ([]Cell, error) {
+	cells, fail, err := runCells(specs, workers, run)
+	if err != nil {
+		c := specs[fail]
+		return nil, fmt.Errorf("grid %s cell n=%d seed=%d: %w", label, c.N, c.Seed, err)
+	}
+	return cells, nil
+}
+
+// runCells executes the grid and reports the index of the earliest
+// failing cell (with its unwrapped error) so each caller can attach its
+// own coordinate text.
+func runCells(specs []CellSpec, workers int, run func(c CellSpec) (int, error)) ([]Cell, int, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	if reps < 1 {
-		return s, fmt.Errorf("sweep %s: reps = %d", label, reps)
-	}
+	out := make([]Cell, len(specs))
 	if workers == 1 {
 		// Sequential fast path, with early exit on the first error.
-		for _, n := range sizes {
-			total := 0.0
-			for r := 0; r < reps; r++ {
-				rounds, err := run(n, cellSeed(n, r))
-				if err != nil {
-					return s, fmt.Errorf("sweep %s at n=%d rep %d: %w", label, n, r, err)
-				}
-				total += float64(rounds)
+		for i, c := range specs {
+			rounds, err := run(c)
+			if err != nil {
+				return nil, i, err
 			}
-			s.Points = append(s.Points, Point{N: n, Rounds: total / float64(reps)})
+			out[i] = Cell{Spec: c, Rounds: rounds}
 		}
-		return s, nil
+		return out, -1, nil
 	}
-	cells := len(sizes) * reps
-	rounds := make([]float64, cells)
-	errs := make([]error, cells)
-	jobs := make(chan int, cells)
+	errs := make([]error, len(specs))
+	jobs := make(chan int, len(specs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -185,28 +204,54 @@ func ParallelSweep(label string, sizes []int, reps int, workers int, run func(n 
 			// cell has failed: skipping would let scheduling decide
 			// whether the earliest failing cell was ever observed, and
 			// the reported error must not depend on scheduling.
-			for c := range jobs {
-				n, r := sizes[c/reps], c%reps
-				got, err := run(n, cellSeed(n, r))
-				rounds[c] = float64(got)
-				errs[c] = err
+			for i := range jobs {
+				rounds, err := run(specs[i])
+				out[i] = Cell{Spec: specs[i], Rounds: rounds}
+				errs[i] = err
 			}
 		}()
 	}
-	for c := 0; c < cells; c++ {
-		jobs <- c
+	for i := range specs {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	for c, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return s, fmt.Errorf("sweep %s at n=%d rep %d: %w", label, sizes[c/reps], c%reps, err)
+			return nil, i, err
 		}
+	}
+	return out, -1, nil
+}
+
+// ParallelSweep fans the (size × rep) measurement grid across the given
+// number of workers. Results are deterministic regardless of the worker
+// count: every grid cell gets the same derived seed the sequential sweep
+// used, cells are aggregated in grid order, and on failure the error of
+// the earliest grid cell is returned. run must therefore be safe to call
+// concurrently, which holds for measurement closures that build their
+// instance and solver per call.
+func ParallelSweep(label string, sizes []int, reps int, workers int, run func(n int, seed int64) (int, error)) (Series, error) {
+	s := Series{Label: label}
+	if reps < 1 {
+		return s, fmt.Errorf("sweep %s: reps = %d", label, reps)
+	}
+	specs := make([]CellSpec, 0, len(sizes)*reps)
+	for _, n := range sizes {
+		for r := 0; r < reps; r++ {
+			specs = append(specs, CellSpec{N: n, Seed: cellSeed(n, r)})
+		}
+	}
+	cells, fail, err := runCells(specs, workers, func(c CellSpec) (int, error) {
+		return run(c.N, c.Seed)
+	})
+	if err != nil {
+		return s, fmt.Errorf("sweep %s at n=%d rep %d: %w", label, sizes[fail/reps], fail%reps, err)
 	}
 	for i, n := range sizes {
 		total := 0.0
 		for r := 0; r < reps; r++ {
-			total += rounds[i*reps+r]
+			total += float64(cells[i*reps+r].Rounds)
 		}
 		s.Points = append(s.Points, Point{N: n, Rounds: total / float64(reps)})
 	}

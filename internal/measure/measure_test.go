@@ -138,6 +138,58 @@ func TestParallelSweepSeedsMatchSequential(t *testing.T) {
 	}
 }
 
+// TestParallelCellsDeterministic: cells come back in spec order with the
+// spec's exact coordinates for every worker count.
+func TestParallelCellsDeterministic(t *testing.T) {
+	specs := []CellSpec{{N: 8, Seed: 3}, {N: 8, Seed: 4}, {N: 16, Seed: 3}, {N: 32, Seed: 9}}
+	run := func(c CellSpec) (int, error) { return c.N*100 + int(c.Seed), nil }
+	want, err := ParallelCells("g", specs, 1, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range want {
+		if c.Spec != specs[i] {
+			t.Fatalf("cell %d spec = %+v, want %+v", i, c.Spec, specs[i])
+		}
+		if c.Rounds != specs[i].N*100+int(specs[i].Seed) {
+			t.Fatalf("cell %d rounds = %d", i, c.Rounds)
+		}
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		got, err := ParallelCells("g", specs, workers, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: cells %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+// TestParallelCellsErrorDeterministic: the earliest failing cell's error
+// is reported with its coordinates, regardless of worker interleaving.
+func TestParallelCellsErrorDeterministic(t *testing.T) {
+	boom := errors.New("boom")
+	specs := []CellSpec{{N: 1, Seed: 1}, {N: 2, Seed: 7}, {N: 3, Seed: 8}}
+	for _, workers := range []int{1, 2, 8} {
+		cells, err := ParallelCells("g", specs, workers, func(c CellSpec) (int, error) {
+			if c.N >= 2 {
+				return 0, boom
+			}
+			return c.N, nil
+		})
+		if cells != nil {
+			t.Fatalf("workers=%d: cells = %+v, want nil on error", workers, cells)
+		}
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		if !strings.Contains(err.Error(), "n=2 seed=7") {
+			t.Errorf("workers=%d: err = %v, want earliest failing cell n=2 seed=7", workers, err)
+		}
+	}
+}
+
 // TestParallelSweepErrorDeterministic: when several cells fail, the error
 // reported is that of the earliest grid cell, regardless of worker
 // interleaving.

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"fmt"
+
+	"locallab/internal/experiments"
+)
+
+// Builtins returns the built-in scenario library in canonical order. The
+// sweep sizes come from the experiments size tables (experiments.Scale.
+// Sizes), so the declarative specs and the paper experiments share one
+// source of truth.
+func Builtins() []*Spec {
+	quick := experiments.Quick.Sizes()
+	full := experiments.Full.Sizes()
+	return []*Spec{
+		{
+			// ci-smoke is the per-commit CI workload: one cheap cell grid
+			// per subsystem (engine-backed coloring, deterministic and
+			// message-passing sinkless, network decomposition, adversarial
+			// IDs), small enough for seconds, wide enough that a
+			// regression in any layer moves the report.
+			Name: "ci-smoke",
+			Scenarios: []Scenario{
+				{Name: "cv-cycles", Family: "cycle", Solver: "cole-vishkin",
+					Sizes: []int{64, 256}, Seeds: []int64{1, 2},
+					Engine: EngineParams{Workers: 2, Shards: 8}},
+				{Name: "cv-cycles-advid", Family: "cycle-advid", Solver: "cole-vishkin",
+					Sizes: []int{64, 256}, Seeds: []int64{1}},
+				{Name: "sinkless-det-regular", Family: "regular", Solver: "sinkless-det",
+					Sizes: []int{64, 256}, Seeds: []int64{1, 2}},
+				{Name: "sinkless-msg-regular", Family: "regular", Solver: "sinkless-msg",
+					Sizes: []int{64, 128}, Seeds: []int64{1},
+					Engine: EngineParams{Workers: 2, Shards: 8}},
+				{Name: "netdecomp-tree", Family: "tree", Solver: "netdecomp",
+					Sizes: []int{63}, Seeds: []int64{1}},
+				{Name: "netdecomp-torus", Family: "torus", Solver: "netdecomp",
+					Sizes: []int{49}, Seeds: []int64{1}},
+			},
+		},
+		{
+			Name: "cycles",
+			Scenarios: []Scenario{
+				{Name: "cole-vishkin", Family: "cycle", Solver: "cole-vishkin",
+					Sizes: quick.Cycle, Seeds: []int64{1, 2, 3}},
+				{Name: "mis", Family: "cycle", Solver: "mis",
+					Sizes: quick.Cycle, Seeds: []int64{1, 2, 3}},
+				{Name: "matching", Family: "cycle", Solver: "matching",
+					Sizes: quick.Cycle, Seeds: []int64{1, 2, 3}},
+			},
+		},
+		{
+			Name: "regular",
+			Scenarios: []Scenario{
+				{Name: "sinkless-det", Family: "regular", Solver: "sinkless-det",
+					Sizes: quick.Regular, Seeds: []int64{1, 2, 3}},
+				{Name: "sinkless-rand", Family: "regular", Solver: "sinkless-rand",
+					Sizes: quick.Regular, Seeds: []int64{1, 2, 3}},
+				{Name: "sinkless-msg", Family: "regular", Solver: "sinkless-msg",
+					Sizes: quick.Regular, Seeds: []int64{1, 2}},
+			},
+		},
+		{
+			Name: "trees-grids",
+			Scenarios: []Scenario{
+				{Name: "netdecomp-tree", Family: "tree", Solver: "netdecomp",
+					Sizes: []int{63, 255, 1023}, Seeds: []int64{1, 2}},
+				{Name: "netdecomp-bitrev", Family: "bitrev", Solver: "netdecomp",
+					Sizes: []int{63, 255, 1023}, Seeds: []int64{1, 2}},
+				{Name: "netdecomp-torus", Family: "torus", Solver: "netdecomp",
+					Sizes: []int{64, 256, 1024}, Seeds: []int64{1, 2}},
+				{Name: "netdecomp-hypercube", Family: "hypercube", Solver: "netdecomp",
+					Sizes: []int{64, 256, 1024}, Seeds: []int64{1, 2}},
+				{Name: "sinkless-det-torus", Family: "torus", Solver: "sinkless-det",
+					Sizes: []int{64, 256}, Seeds: []int64{1, 2}},
+			},
+		},
+		{
+			// Every base family paired with its adversarial-ID variant,
+			// running the solver most sensitive to identifier placement
+			// that is valid on the family.
+			Name: "adversarial-ids",
+			Scenarios: []Scenario{
+				{Name: "cv-cycle-advid", Family: "cycle-advid", Solver: "cole-vishkin",
+					Sizes: quick.Cycle, Seeds: []int64{1, 2}},
+				{Name: "sinkless-det-regular-advid", Family: "regular-advid", Solver: "sinkless-det",
+					Sizes: quick.Regular, Seeds: []int64{1, 2}},
+				{Name: "sinkless-det-bitrev-advid", Family: "bitrev-advid", Solver: "sinkless-det",
+					Sizes: []int{63, 255, 1023}, Seeds: []int64{1}},
+				{Name: "netdecomp-tree-advid", Family: "tree-advid", Solver: "netdecomp",
+					Sizes: []int{63, 255}, Seeds: []int64{1}},
+				{Name: "netdecomp-torus-advid", Family: "torus-advid", Solver: "netdecomp",
+					Sizes: []int{64, 256}, Seeds: []int64{1}},
+				{Name: "netdecomp-path-advid", Family: "path-advid", Solver: "netdecomp",
+					Sizes: []int{64, 256}, Seeds: []int64{1}},
+				{Name: "netdecomp-hypercube-advid", Family: "hypercube-advid", Solver: "netdecomp",
+					Sizes: []int{64, 256}, Seeds: []int64{1}},
+			},
+		},
+		{
+			Name: "padded",
+			Scenarios: []Scenario{
+				{Name: "pi2-det", Family: PaddedFamily, Solver: "pi2-det",
+					Sizes: quick.PaddedBases, Seeds: []int64{1, 2}},
+				{Name: "pi2-rand", Family: PaddedFamily, Solver: "pi2-rand",
+					Sizes: quick.PaddedBases, Seeds: []int64{1, 2}},
+			},
+		},
+		{
+			Name: "regular-full",
+			Scenarios: []Scenario{
+				{Name: "sinkless-det", Family: "regular", Solver: "sinkless-det",
+					Sizes: full.Regular, Seeds: []int64{1, 2, 3}},
+				{Name: "sinkless-rand", Family: "regular", Solver: "sinkless-rand",
+					Sizes: full.Regular, Seeds: []int64{1, 2, 3}},
+			},
+		},
+	}
+}
+
+// Builtin looks a builtin spec up by name.
+func Builtin(name string) (*Spec, bool) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// BuiltinNames returns the builtin spec names in canonical order.
+func BuiltinNames() []string {
+	specs := Builtins()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// validateBuiltins is called from tests: every builtin must pass the
+// spec validator.
+func validateBuiltins() error {
+	for _, s := range Builtins() {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("builtin %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"locallab/internal/experiments"
+)
+
+// SchemaVersion identifies the report JSON schema. Bump it on any
+// field-semantics change so trajectory tooling can dispatch.
+const SchemaVersion = "locallab.report/v1"
+
+// CellResult is one measured grid cell. Every field except the timing
+// pair is deterministic for the cell's (family, solver, n, seed) — the
+// deterministic fields are what the golden tests and CI diffs compare.
+type CellResult struct {
+	// N is the requested size (base-graph nodes for padded scenarios).
+	N int `json:"n"`
+	// Seed drives instance construction and solver randomness.
+	Seed int64 `json:"seed"`
+	// Nodes and Edges are the actual instance shape (families that
+	// quantize sizes round up).
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Rounds is the measured locality of the run.
+	Rounds int `json:"rounds"`
+	// Messages counts engine message deliveries (engine-aware solvers
+	// only; deterministic, see engine.Stats).
+	Messages int64 `json:"messages,omitempty"`
+	// Checksum is the FNV-1a 64 fingerprint of the verified output
+	// labeling, in %016x form.
+	Checksum string `json:"checksum"`
+	// WallNanos is the cell's wall-clock solve time. It is recorded only
+	// in timing mode (-timing): it varies run to run, so including it
+	// forfeits byte-identical reports.
+	WallNanos int64 `json:"wall_nanos,omitempty"`
+}
+
+// ScenarioResult is one scenario's completed grid, cells in size-major
+// grid order.
+type ScenarioResult struct {
+	Name   string       `json:"name"`
+	Family string       `json:"family"`
+	Solver string       `json:"solver"`
+	Engine EngineParams `json:"engine,omitzero"`
+	Cells  []CellResult `json:"cells"`
+}
+
+// ExperimentResult is one rendered experiment artifact — the structured
+// form of an experiments.Result, so lcl-bench tables travel in the same
+// report envelope.
+type ExperimentResult struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Table string   `json:"table"`
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Report is the machine-readable result envelope both lcl-scenario and
+// lcl-bench emit; BENCH_*.json trajectories store its canonical form.
+type Report struct {
+	Schema      string             `json:"schema"`
+	Tool        string             `json:"tool"`
+	Name        string             `json:"name"`
+	Scenarios   []ScenarioResult   `json:"scenarios,omitempty"`
+	Experiments []ExperimentResult `json:"experiments,omitempty"`
+}
+
+// CanonicalJSON renders the report in its canonical byte form: two-space
+// indented, fixed field order (struct order), trailing newline. Reports
+// built from the same spec and seeds are byte-identical regardless of
+// worker counts, so trajectories can be diffed textually.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the canonical JSON to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ExperimentReport wraps rendered experiment results in the report
+// envelope (lcl-bench's -json path).
+func ExperimentReport(name string, results []*experiments.Result) *Report {
+	rep := &Report{Schema: SchemaVersion, Tool: "lcl-bench", Name: name}
+	for _, r := range results {
+		rep.Experiments = append(rep.Experiments, ExperimentResult{
+			ID:    r.ID,
+			Title: r.Title,
+			Table: r.Table,
+			Notes: r.Notes,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"locallab/internal/engine"
+	"locallab/internal/graph"
+	"locallab/internal/measure"
+)
+
+// RunOptions tunes scheduling and reporting; none of it changes the
+// deterministic fields of the report.
+type RunOptions struct {
+	// GridWorkers fans each scenario's (size × seed) grid across a worker
+	// pool (measure.ParallelCells); <= 1 runs sequentially. This is the
+	// coarse parallelism layer — engine workers inside a cell default to
+	// 1 unless the scenario's engine parameters raise them, so the two
+	// layers do not multiply into oversubscription by default.
+	GridWorkers int
+	// ShardOverride overrides every scenario's engine shard count
+	// (0 keeps spec values). Outputs are identical either way.
+	ShardOverride int
+	// Timing records per-cell wall-clock time in the report. Timing
+	// fields vary run to run, so reports stop being byte-identical.
+	Timing bool
+}
+
+// Run executes every scenario of the spec and assembles the report.
+// Scenarios run in spec order; each scenario's grid cells fan across
+// GridWorkers in size-major order. All result fields except timing are
+// deterministic: reruns and different worker counts yield byte-identical
+// CanonicalJSON.
+func Run(spec *Spec, opts RunOptions) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Schema: SchemaVersion, Tool: "lcl-scenario", Name: spec.Name}
+	for i := range spec.Scenarios {
+		res, err := runScenario(&spec.Scenarios[i], opts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", spec.Scenarios[i].Name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, *res)
+	}
+	return rep, nil
+}
+
+func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
+	sol, ok := SolverByName(sc.Solver)
+	if !ok {
+		return nil, fmt.Errorf("unknown solver %q", sc.Solver)
+	}
+	engineParams := sc.Engine
+	if opts.ShardOverride > 0 && sol.EngineAware {
+		engineParams.Shards = opts.ShardOverride
+	}
+	// Engine-aware solvers get an explicit engine so scenario runs never
+	// depend on the mutable package-level engine defaults. Workers
+	// default to 1 inside a cell: the grid is the parallel layer.
+	var eng *engine.Engine
+	if sol.EngineAware {
+		w := engineParams.Workers
+		if w <= 0 {
+			w = 1
+		}
+		eng = engine.New(engine.Options{Workers: w, Shards: engineParams.Shards})
+	}
+
+	// Size-major grid order; cell index recovered from the spec grid so
+	// each cell writes only its own slot under the parallel fan-out.
+	grid := make([]measure.CellSpec, 0, len(sc.Sizes)*len(sc.Seeds))
+	index := make(map[measure.CellSpec]int, len(sc.Sizes)*len(sc.Seeds))
+	for _, n := range sc.Sizes {
+		for _, seed := range sc.Seeds {
+			cs := measure.CellSpec{N: n, Seed: seed}
+			index[cs] = len(grid)
+			grid = append(grid, cs)
+		}
+	}
+	outcomes := make([]outcome, len(grid))
+	wall := make([]int64, len(grid))
+	_, err := measure.ParallelCells(sc.Name, grid, opts.GridWorkers, func(c measure.CellSpec) (int, error) {
+		var (
+			g   *graph.Graph
+			err error
+		)
+		if sc.Family != PaddedFamily {
+			g, err = graph.BuildFamily(sc.Family, c.N, c.Seed)
+			if err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		o, err := sol.run(g, c.N, c.Seed, eng)
+		if err != nil {
+			return 0, err
+		}
+		i := index[c]
+		outcomes[i] = o
+		wall[i] = time.Since(start).Nanoseconds()
+		return o.rounds, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScenarioResult{
+		Name:   sc.Name,
+		Family: sc.Family,
+		Solver: sc.Solver,
+		Engine: sc.Engine,
+		Cells:  make([]CellResult, len(grid)),
+	}
+	for i, c := range grid {
+		o := outcomes[i]
+		cell := CellResult{
+			N:        c.N,
+			Seed:     c.Seed,
+			Nodes:    o.nodes,
+			Edges:    o.edges,
+			Rounds:   o.rounds,
+			Messages: o.messages,
+			Checksum: fmt.Sprintf("%016x", o.checksum),
+		}
+		if opts.Timing {
+			cell.WallNanos = wall[i]
+		}
+		res.Cells[i] = cell
+	}
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestBuiltinsValid(t *testing.T) {
+	if err := validateBuiltins(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Builtin("ci-smoke"); !ok {
+		t.Fatal("ci-smoke builtin missing")
+	}
+	if _, ok := Builtin("nope"); ok {
+		t.Fatal("unknown builtin accepted")
+	}
+	names := BuiltinNames()
+	if len(names) == 0 || names[0] != "ci-smoke" {
+		t.Fatalf("builtin names = %v, want ci-smoke first", names)
+	}
+}
+
+// TestRunCISmokeDeterministic is the acceptance property of the report
+// model: the same spec yields byte-identical canonical JSON across
+// repeated runs and across grid worker counts, and the result matches
+// the checked-in golden file (regenerate with -update).
+func TestRunCISmokeDeterministic(t *testing.T) {
+	spec, ok := Builtin("ci-smoke")
+	if !ok {
+		t.Fatal("ci-smoke builtin missing")
+	}
+	var reports [][]byte
+	for _, workers := range []int{1, 8, 1} {
+		rep, err := Run(spec, RunOptions{GridWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, data)
+	}
+	for i := 1; i < len(reports); i++ {
+		if string(reports[0]) != string(reports[i]) {
+			t.Fatalf("report %d differs from report 0:\n%s\n---\n%s", i, reports[i], reports[0])
+		}
+	}
+	golden := filepath.Join("testdata", "ci-smoke.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, reports[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/scenario -run CISmoke -update)", err)
+	}
+	if string(want) != string(reports[0]) {
+		t.Fatalf("report differs from golden file %s — algorithmic change or nondeterminism; "+
+			"if intentional, regenerate with -update.\ngot:\n%s", golden, reports[0])
+	}
+}
+
+// TestRunShardOverrideKeepsBytes: engine shard overrides only reschedule,
+// never change results.
+func TestRunShardOverrideKeepsBytes(t *testing.T) {
+	spec, _ := Builtin("ci-smoke")
+	a, err := Run(spec, RunOptions{GridWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, RunOptions{GridWorkers: 2, ShardOverride: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := a.CanonicalJSON()
+	jb, _ := b.CanonicalJSON()
+	if string(ja) != string(jb) {
+		t.Fatal("shard override changed report bytes")
+	}
+}
+
+// TestRunTimingMode: timing adds wall_nanos and is excluded by default.
+func TestRunTimingMode(t *testing.T) {
+	spec := &Spec{Name: "t", Scenarios: []Scenario{{
+		Name: "cv", Family: "cycle", Solver: "cole-vishkin", Sizes: []int{32}, Seeds: []int64{1},
+	}}}
+	plain, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := plain.CanonicalJSON()
+	if strings.Contains(string(data), "wall_nanos") {
+		t.Fatal("default report contains wall_nanos")
+	}
+	timed, err := Run(spec, RunOptions{Timing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Scenarios[0].Cells[0].WallNanos <= 0 {
+		t.Fatal("timing mode recorded no wall time")
+	}
+}
+
+// TestSpecValidationErrors pins the validator's exact error messages —
+// they are contract for spec-authoring tooling.
+func TestSpecValidationErrors(t *testing.T) {
+	valid := func() *Spec {
+		return &Spec{Name: "s", Scenarios: []Scenario{{
+			Name: "a", Family: "cycle", Solver: "cole-vishkin", Sizes: []int{16}, Seeds: []int64{1},
+		}}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"missing spec name", func(s *Spec) { s.Name = "" }, `spec: missing name`},
+		{"no scenarios", func(s *Spec) { s.Scenarios = nil }, `spec: no scenarios`},
+		{"scenario missing name", func(s *Spec) { s.Scenarios[0].Name = "" }, `spec: scenario 0 missing name`},
+		{"unknown family", func(s *Spec) { s.Scenarios[0].Family = "moebius" },
+			`scenario "a": unknown graph family "moebius"`},
+		{"unknown solver", func(s *Spec) { s.Scenarios[0].Solver = "quantum" },
+			`scenario "a": unknown solver "quantum"`},
+		{"size below minimum", func(s *Spec) { s.Scenarios[0].Sizes = []int{2} },
+			`scenario "a": size 2 below family "cycle" minimum 3`},
+		{"no sizes", func(s *Spec) { s.Scenarios[0].Sizes = nil }, `scenario "a": no sizes`},
+		{"no seeds", func(s *Spec) { s.Scenarios[0].Seeds = nil }, `scenario "a": no seeds`},
+		{"duplicate size", func(s *Spec) { s.Scenarios[0].Sizes = []int{16, 16} },
+			`scenario "a": duplicate size 16`},
+		{"duplicate seed", func(s *Spec) { s.Scenarios[0].Seeds = []int64{1, 1} },
+			`scenario "a": duplicate seed 1`},
+		{"cycle-only solver elsewhere", func(s *Spec) { s.Scenarios[0].Family = "torus"; s.Scenarios[0].Sizes = []int{16} },
+			`scenario "a": solver "cole-vishkin" runs on cycles only (family "torus")`},
+		{"padded solver on graph family", func(s *Spec) { s.Scenarios[0].Solver = "pi2-det" },
+			`scenario "a": solver "pi2-det" requires family "padded"`},
+		{"graph solver on padded family", func(s *Spec) { s.Scenarios[0].Family = "padded" },
+			`scenario "a": solver "cole-vishkin" does not run on padded instances`},
+		{"engine params on unaware solver", func(s *Spec) {
+			s.Scenarios[0].Solver = "mis"
+			s.Scenarios[0].Engine = EngineParams{Workers: 2}
+		}, `scenario "a": solver "mis" does not take engine parameters`},
+		{"duplicate scenario name", func(s *Spec) {
+			s.Scenarios = append(s.Scenarios, s.Scenarios[0])
+		}, `spec: duplicate scenario name "a"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			if err := s.Validate(); err != nil {
+				t.Fatalf("base spec invalid: %v", err)
+			}
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("want error %q, got nil", tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), tc.want) {
+				t.Fatalf("err = %q, want prefix %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadShapes: both the suite shape and the bare single-scenario shape
+// parse; unknown fields are rejected.
+func TestLoadShapes(t *testing.T) {
+	suite := `{"name":"s","scenarios":[{"name":"a","family":"cycle","solver":"cole-vishkin","sizes":[16],"seeds":[1]}]}`
+	spec, err := Load(strings.NewReader(suite))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Scenarios) != 1 || spec.Scenarios[0].Name != "a" {
+		t.Fatalf("suite parse: %+v", spec)
+	}
+	single := `{"name":"a","family":"regular","solver":"sinkless-det","sizes":[64],"seeds":[1,2],"engine":{}}`
+	spec, err = Load(strings.NewReader(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "a" || len(spec.Scenarios) != 1 || spec.Scenarios[0].Family != "regular" {
+		t.Fatalf("single parse: %+v", spec)
+	}
+	if _, err := Load(strings.NewReader(`{"name":"a","famly":"cycle"}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestChecksumsDistinguishSeeds: the labels checksum actually varies with
+// the seed (different instances ⇒ different labelings).
+func TestChecksumsDistinguishSeeds(t *testing.T) {
+	spec := &Spec{Name: "s", Scenarios: []Scenario{{
+		Name: "sk", Family: "regular", Solver: "sinkless-det", Sizes: []int{64}, Seeds: []int64{1, 2},
+	}}}
+	rep, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := rep.Scenarios[0].Cells
+	if cells[0].Checksum == cells[1].Checksum {
+		t.Fatalf("different seeds produced identical checksums %s", cells[0].Checksum)
+	}
+	for _, c := range cells {
+		if len(c.Checksum) != 16 {
+			t.Fatalf("checksum %q not 16 hex chars", c.Checksum)
+		}
+		if c.Rounds <= 0 || c.Nodes < c.N {
+			t.Fatalf("implausible cell %+v", c)
+		}
+	}
+}

@@ -241,6 +241,10 @@ type MessageSolver struct {
 	// engine defaults (sharded worker pool). Tests inject a sequential
 	// engine here to differential-test the sharded path.
 	Engine *engine.Engine
+	// LastStats is the execution profile of the most recent successful
+	// Solve. Callers that need it (the scenario runner records message
+	// deliveries per cell) must not share one solver across goroutines.
+	LastStats engine.Stats
 }
 
 var _ lcl.Solver = &MessageSolver{}
@@ -266,10 +270,12 @@ func (s *MessageSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lc
 		machines[v] = sm
 		states[v] = sm
 	}
-	rounds, err := local.RunWith(s.Engine, g, machines, seed, true, s.MaxRounds)
+	stats, err := local.RunStatsWith(s.Engine, g, machines, seed, true, s.MaxRounds)
 	if err != nil {
 		return nil, nil, fmt.Errorf("message solver: %w", err)
 	}
+	rounds := stats.Rounds
+	s.LastStats = stats
 	out := lcl.NewLabeling(g)
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
 		for p, o := range states[v].out {
