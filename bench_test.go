@@ -11,6 +11,7 @@ package locallab_test
 import (
 	"testing"
 
+	"locallab/internal/coloring"
 	"locallab/internal/core"
 	"locallab/internal/errorproof"
 	"locallab/internal/experiments"
@@ -83,10 +84,32 @@ func BenchmarkSinklessRand2048(b *testing.B) {
 	}
 }
 
+// BenchmarkCVSolve2048 drives the Cole–Vishkin solver end to end on a
+// 2048-cycle — since the typed-core rewrite this is the unboxed cvMsg
+// plane; the remaining allocs/op are the per-Solve setup (machines,
+// labeling, cost), not the round loop, which the AllocsPerRun pins in
+// internal/coloring hold at zero. (The engine-only round-loop numbers
+// are BenchmarkCVEngine*2048 in internal/coloring.)
+func BenchmarkCVSolve2048(b *testing.B) {
+	g, err := graph.NewCycle(2048, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := lcl.NewLabeling(g)
+	s := coloring.NewCVSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(g, in, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSinklessMsg2048 drives the message-passing sinkless protocol
-// through local.Run, i.e. through the sharded worker-pool engine — the
-// end-to-end counterpart of the pool-vs-goroutine-per-node
-// micro-benchmarks in internal/engine.
+// through the sharded engine — since the typed-core rewrite this is the
+// unboxed smMsg plane; like BenchmarkCVSolve2048, steady-state rounds
+// allocate nothing and the reported allocs/op are per-Solve setup.
 func BenchmarkSinklessMsg2048(b *testing.B) {
 	g, err := graph.NewRandomRegular(2048, 3, 5, false)
 	if err != nil {

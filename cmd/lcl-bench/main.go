@@ -5,6 +5,7 @@
 // Usage:
 //
 //	lcl-bench [-quick] [-only E-F1,E-T11] [-workers 8] [-shards 32] [-json out.json]
+//	lcl-bench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"locallab/internal/engine"
@@ -26,15 +28,51 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// writeMemProfile snapshots the heap into path after a GC, so the
+// profile reflects the final live set.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("lcl-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "small sizes (seconds instead of minutes)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default all)")
 	workers := fs.Int("workers", 0, "sweep-grid workers: the (size × seed) cells of each measurement sweep run this wide (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "engine node shards for message-passing solvers (0 = auto)")
 	jsonOut := fs.String("json", "", "also write the experiment tables as a machine-readable report to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err != nil {
+				return // keep the run's own error; no profile to report
+			}
+			err = writeMemProfile(*memprofile)
+		}()
 	}
 	// Parallelism budget: exactly one layer fans out across -workers —
 	// the sweep grid, whose independent (size × seed) cells are the

@@ -19,6 +19,27 @@ func TestRunQuickSubsetParallel(t *testing.T) {
 	}
 }
 
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-quick", "-only", "E-F2", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty: %v", p, err)
+		}
+	}
+}
+
+func TestRunMemProfileError(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "mem.pprof")
+	if err := run([]string{"-quick", "-only", "E-F2", "-memprofile", bad}); err == nil {
+		t.Fatal("unwritable -memprofile path accepted")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-quick", "-only", "E-NOPE"}); err == nil {
 		t.Fatal("unknown experiment id accepted")

@@ -21,6 +21,12 @@ func TestRunCorrupt(t *testing.T) {
 	}
 }
 
+func TestRunEngineFlags(t *testing.T) {
+	if err := run([]string{"-delta", "2", "-height", "3", "-workers", "2", "-shards", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatal(err)

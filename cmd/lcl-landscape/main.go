@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lcl-landscape [-quick]
+//	lcl-landscape [-quick] [-workers 8] [-shards 32]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"locallab/internal/engine"
 	"locallab/internal/experiments"
 )
 
@@ -25,9 +26,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lcl-landscape", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "small sizes")
+	workers := fs.Int("workers", 0, "engine worker goroutines for message-passing solvers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "engine node shards for message-passing solvers (0 = auto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engine.SetDefaultOptions(engine.Options{Workers: *workers, Shards: *shards})
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick

@@ -7,3 +7,9 @@ func TestRunQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunQuickEngineFlags(t *testing.T) {
+	if err := run([]string{"-quick", "-workers", "2", "-shards", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}

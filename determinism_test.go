@@ -149,6 +149,43 @@ func TestShardedEngineMatchesSequentialColoring(t *testing.T) {
 	}
 }
 
+// TestShardedEngineMatchesSequentialMIS closes the typed-machine trio:
+// the MIS solver's coloring stage runs the unboxed Cole–Vishkin machine
+// on the typed sharded core, and its labelings must stay byte-identical
+// to the boxed sequential oracle across the same seed × size × geometry
+// grid.
+func TestShardedEngineMatchesSequentialMIS(t *testing.T) {
+	sizes := []int{33, 100, 257}
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, n := range sizes {
+		for _, seed := range seeds {
+			g, err := graph.NewCycle(n, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := lcl.NewLabeling(g)
+			oracle := &coloring.MISSolver{Engine: engine.New(engine.Options{Sequential: true})}
+			want, _, err := oracle.Solve(g, in, seed)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: oracle: %v", n, seed, err)
+			}
+			if err := lcl.Verify(g, coloring.MIS{}, in, want); err != nil {
+				t.Fatalf("n=%d seed=%d: oracle output invalid: %v", n, seed, err)
+			}
+			for _, opts := range shardedConfigs {
+				s := &coloring.MISSolver{Engine: engine.New(opts)}
+				got, _, err := s.Solve(g, in, seed)
+				if err != nil {
+					t.Fatalf("n=%d seed=%d %+v: %v", n, seed, opts, err)
+				}
+				if !lcl.Equal(want, got) {
+					t.Fatalf("n=%d seed=%d %+v: sharded MIS differs from sequential oracle", n, seed, opts)
+				}
+			}
+		}
+	}
+}
+
 // TestScenarioReportReplays extends the determinism suite to the
 // scenario subsystem: the full declarative pipeline — spec → family
 // builders → solvers → report — must emit byte-identical canonical JSON

@@ -10,8 +10,11 @@ import (
 	"locallab/internal/local"
 )
 
-// cvMessage is what Cole–Vishkin machines exchange: the current color and
-// the sender's identifier (for elimination tie-breaks).
+// cvMessage is what the boxed Cole–Vishkin machines exchange: the
+// current color and the sender's identifier (for elimination
+// tie-breaks). The production path uses the unboxed cvMsg twin on the
+// typed engine core (cv_typed.go); this boxed machine is retained as the
+// sequential differential-testing oracle.
 type cvMessage struct {
 	Color int64
 	ID    int64
@@ -117,6 +120,12 @@ func tupleAgainst(own, other int64, w int) int {
 // Cole–Vishkin machine on the synchronous runtime; the measured rounds
 // follow the Θ(log* n) class (a constant for all feasible n, since the
 // reduction schedule collapses any 63-bit palette in four steps).
+//
+// The sharded path runs the unboxed cvTypedMachine on the typed engine
+// core — zero steady-state allocations end to end. An injected
+// Sequential engine instead runs the boxed cvMachine through the
+// sequential reference oracle, so the existing differential tests pit
+// the typed sharded execution against the boxed oracle.
 type CVSolver struct {
 	// MaxRounds caps the runtime (elimination chains are short in
 	// practice; the cap only guards against adversarial inputs).
@@ -146,19 +155,42 @@ func (s *CVSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Lab
 	if err := RequireCycleGraph(g); err != nil {
 		return nil, nil, fmt.Errorf("cole-vishkin: %w", err)
 	}
-	machines := make([]local.Machine, g.NumNodes())
-	for v := range machines {
-		machines[v] = &cvMachine{}
+	n := g.NumNodes()
+	var (
+		stats  engine.Stats
+		err    error
+		colors = make([]int64, n)
+	)
+	if s.Engine.Options().Sequential {
+		// Boxed oracle path: the original interface{}-message machine on
+		// the sequential reference implementation.
+		machines := make([]local.Machine, n)
+		for v := range machines {
+			machines[v] = &cvMachine{}
+		}
+		stats, err = local.RunStatsWith(s.Engine, g, machines, seed, false, s.MaxRounds)
+		for v := range machines {
+			colors[v] = machines[v].(*cvMachine).color
+		}
+	} else {
+		// Production path: unboxed machines on the typed engine core.
+		machines := make([]cvTypedMachine, n)
+		typed := make([]engine.TypedMachine[cvMsg], n)
+		for v := range typed {
+			typed[v] = &machines[v]
+		}
+		stats, err = local.RunStatsTyped(s.Engine, g, typed, seed, false, s.MaxRounds)
+		for v := range machines {
+			colors[v] = machines[v].color
+		}
 	}
-	stats, err := local.RunStatsWith(s.Engine, g, machines, seed, false, s.MaxRounds)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cole-vishkin runtime: %w", err)
 	}
 	rounds := stats.Rounds
 	s.LastStats = stats
 	out := lcl.NewLabeling(g)
-	for v := range machines {
-		c := machines[v].(*cvMachine).color
+	for v, c := range colors {
 		if c < 1 || c > 3 {
 			return nil, nil, fmt.Errorf("cole-vishkin: node %d finished with color %d", v, c)
 		}
@@ -176,6 +208,10 @@ func (s *CVSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Lab
 // and 3 join when no earlier neighbor joined). Θ(log* n).
 type MISSolver struct {
 	cv *CVSolver
+	// Engine overrides the execution engine of the underlying coloring
+	// stage; nil uses the package-level engine defaults. A Sequential
+	// engine selects the boxed oracle path, like CVSolver.
+	Engine *engine.Engine
 }
 
 var _ lcl.Solver = &MISSolver{}
@@ -191,6 +227,10 @@ func (s *MISSolver) Randomized() bool { return false }
 
 // Solve implements lcl.Solver.
 func (s *MISSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Labeling, *local.Cost, error) {
+	if s.cv == nil {
+		s.cv = NewCVSolver()
+	}
+	s.cv.Engine = s.Engine
 	colored, cost, err := s.cv.Solve(g, in, seed)
 	if err != nil {
 		return nil, nil, err

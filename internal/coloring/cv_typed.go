@@ -1,0 +1,87 @@
+package coloring
+
+import "locallab/internal/engine"
+
+// cvMsg is the unboxed Cole–Vishkin message: the same payload as the
+// boxed cvMessage, but exchanged through the typed engine core's flat
+// []cvMsg planes, so the round loop moves plain 16-byte structs instead
+// of heap-boxing one interface value per port per round.
+type cvMsg struct {
+	Color int64
+	ID    int64
+}
+
+// cvSchedule is the shared reduction-width schedule. It depends only on
+// the 63-bit identifier width, so all machines share one package-level
+// copy and track their position with an index — the boxed machine's
+// per-Init schedule slice allocation disappears.
+var cvSchedule = reductionSchedule(63)
+
+// cvTypedMachine is the unboxed cvMachine: identical state evolution,
+// zero allocations anywhere (Init included). The boxed cvMachine is kept
+// as the sequential differential-testing oracle.
+type cvTypedMachine struct {
+	id       int64
+	color    int64
+	schedIdx int
+	nbrs     [2]cvMsg
+	haveNbrs bool
+	started  bool
+}
+
+var _ engine.TypedMachine[cvMsg] = (*cvTypedMachine)(nil)
+
+func (m *cvTypedMachine) Init(info engine.NodeInfo) {
+	m.id = info.ID
+	m.color = info.ID // initial coloring: identifiers (proper by uniqueness)
+	m.schedIdx = 0
+	m.haveNbrs = false
+	m.started = false
+}
+
+func (m *cvTypedMachine) Round(recv, send []cvMsg) bool {
+	if m.started {
+		// From the second round on both ports always carry a fresh
+		// neighbor message (every machine sends on every port every
+		// round), so no presence probing is needed.
+		m.nbrs[0] = recv[0]
+		m.nbrs[1] = recv[1]
+		m.haveNbrs = true
+		m.step()
+	}
+	m.started = true
+	out := cvMsg{Color: m.color, ID: m.id}
+	send[0] = out
+	send[1] = out
+	return m.haveNbrs && m.color <= 3 && m.nbrs[0].Color <= 3 && m.nbrs[1].Color <= 3
+}
+
+// step performs one state transition given fresh neighbor colors. It is
+// the boxed cvMachine.step with the schedule index replacing the slice
+// and the elimination's used-color map replaced by direct comparisons.
+func (m *cvTypedMachine) step() {
+	if m.schedIdx < len(cvSchedule)-1 {
+		w := cvSchedule[m.schedIdx]
+		m.schedIdx++
+		v0 := tupleAgainst(m.color, m.nbrs[0].Color, w)
+		v1 := tupleAgainst(m.color, m.nbrs[1].Color, w)
+		m.color = int64(v0)*int64(2*w) + int64(v1) + 4 // +4 keeps reduction colors out of the final palette
+		return
+	}
+	// Elimination phase: recolor if > 3 and locally maximal by
+	// (color, ID) among big-colored nodes.
+	if m.color <= 3 {
+		return
+	}
+	for _, nb := range m.nbrs {
+		if nb.Color > m.color || (nb.Color == m.color && nb.ID > m.id) {
+			return // a bigger neighbor goes first
+		}
+	}
+	for c := int64(1); c <= 3; c++ {
+		if c != m.nbrs[0].Color && c != m.nbrs[1].Color {
+			m.color = c
+			return
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"locallab/internal/graph"
+)
+
+// TypedMachine is the unboxed counterpart of Machine: the per-node
+// program of a synchronous message-passing algorithm whose messages are
+// concrete values of type M instead of interface{}.
+//
+// Round consumes the messages received on each port (recv[p] is the
+// message from port p's neighbor) and writes the messages to send into
+// the engine-owned send buffer (send[p] is the message for port p's
+// neighbor), returning whether this node has terminated with its final
+// state. Both slices have length Degree and alias the engine's flat
+// message planes, so no per-round allocation happens on either side.
+//
+// Contract differences from the boxed Machine interface:
+//
+//   - There is no nil/silence notion: every port carries a value of M
+//     every round. Machines must write every send slot on every call —
+//     the buffers are reused across rounds, so an unwritten slot would
+//     deliver the previous round's message.
+//   - In the first Round call no messages have arrived yet and recv
+//     holds zero values of M; machines must track their own round count
+//     instead of probing recv for nil.
+//   - recv and send contents are only valid during the call; machines
+//     that need a received value later must copy it into their state.
+type TypedMachine[M any] interface {
+	// Init resets the machine with the node's initial knowledge.
+	Init(info NodeInfo)
+	// Round consumes recv and fills send, returning done.
+	Round(recv []M, send []M) (done bool)
+}
+
+// Core is the generics-based execution core: the engine's sharded
+// worker-pool round loop over a typed, unboxed message plane. A Core
+// holds only options; per-execution state lives in Sessions, so one Core
+// can serve many graphs. The boxed Engine API is a thin adapter over
+// Core[Message].
+type Core[M any] struct {
+	opts Options
+	// silent, when non-nil, classifies a delivered message as absent for
+	// Stats.Deliveries. Only the boxed compatibility adapter sets it (nil
+	// Messages are silent there); the typed plane itself has no silence
+	// notion and counts every slot of every delivery phase.
+	silent func(M) bool
+}
+
+// NewCore returns a typed execution core with the given options. For
+// Core, Options.Sequential selects the inline (pool-free) execution mode
+// with workers=shards=1; the semantics are identical by construction,
+// and the independent differential-testing oracle remains the boxed
+// runSequential reference.
+func NewCore[M any](opts Options) *Core[M] { return &Core[M]{opts: opts} }
+
+// Run executes machines on g until every machine reports done or
+// maxRounds is exceeded, returning the number of executed rounds.
+func (c *Core[M]) Run(g *graph.Graph, machines []TypedMachine[M], masterSeed int64, randomized bool, maxRounds int) (int, error) {
+	st, err := c.RunStats(g, machines, masterSeed, randomized, maxRounds)
+	return st.Rounds, err
+}
+
+// RunStats is Run plus the execution profile. It is the one-shot
+// convenience wrapper over NewSession for callers that execute a graph
+// once; repeated executions should hold a Session to reuse its buffers.
+func (c *Core[M]) RunStats(g *graph.Graph, machines []TypedMachine[M], masterSeed int64, randomized bool, maxRounds int) (Stats, error) {
+	s, err := c.NewSession(g, machines)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer s.Close()
+	return s.Run(masterSeed, randomized, maxRounds)
+}
+
+// Session is a prepared execution of one machine set on one graph: the
+// flat message planes, the shard table, and (in pooled mode) the worker
+// goroutines, all allocated exactly once and reused across rounds and
+// across Runs. The steady-state round loop — Step, and therefore the
+// loop inside Run — performs no allocations at all, on either the engine
+// or (for well-behaved typed machines) the machine side.
+//
+// A Session is not safe for concurrent use. Close releases the worker
+// pool; a Session that only ever ran in sequential mode needs no Close,
+// but calling it is always safe.
+type Session[M any] struct {
+	core     *Core[M]
+	g        *graph.Graph
+	machines []TypedMachine[M]
+	n        int
+	delta    int
+
+	// off and route are views of the graph's CSR topology: off delimits
+	// each node's contiguous port-slot run, route maps every slot to the
+	// sender slot it gathers from. Both are owned by the graph and shared
+	// across every Session on it.
+	off   []int32
+	route []int32
+
+	// recv and send are the typed message plane: two flat []M buffers in
+	// port-slot space. Compute reads recv and writes send; delivery
+	// gathers send back into recv through the route table. No swap is
+	// needed because the two phases alternate directions.
+	recv []M
+	send []M
+
+	workers int
+	shards  int
+	inline  bool // sequential mode: run phases inline, no pool
+
+	shardLo        []int32 // shardLo[s]..shardLo[s+1] is shard s's node range
+	shardDone      []paddedBool
+	shardDelivered []paddedCount
+
+	seed       int64
+	randomized bool
+	phase      int
+	rounds     int
+
+	jobs    chan int
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// NewSession validates the machine set against the graph and allocates
+// the per-execution state.
+func (c *Core[M]) NewSession(g *graph.Graph, machines []TypedMachine[M]) (*Session[M], error) {
+	n := g.NumNodes()
+	if len(machines) != n {
+		return nil, fmt.Errorf("engine: %d machines for %d nodes", len(machines), n)
+	}
+	workers := c.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := c.opts.Shards
+	if shards <= 0 {
+		shards = 4 * workers
+	}
+	if shards > n {
+		shards = n
+	}
+	if workers > shards {
+		workers = shards
+	}
+	inline := c.opts.Sequential
+	if inline {
+		workers, shards = 1, 1
+	}
+	total := g.NumPorts()
+	s := &Session[M]{
+		core:           c,
+		g:              g,
+		machines:       machines,
+		n:              n,
+		delta:          g.MaxDegree(),
+		off:            g.PortOffsets(),
+		route:          g.RouteTable(),
+		recv:           make([]M, total),
+		send:           make([]M, total),
+		workers:        workers,
+		shards:         shards,
+		inline:         inline,
+		shardLo:        make([]int32, shards+1),
+		shardDone:      make([]paddedBool, shards),
+		shardDelivered: make([]paddedCount, shards),
+	}
+	// Contiguous shard boundaries; the first n%shards shards take one
+	// extra node.
+	base, rem := n/shards, n%shards
+	for i := 0; i < shards; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		s.shardLo[i+1] = s.shardLo[i] + int32(size)
+	}
+	return s, nil
+}
+
+// Close shuts down the worker pool. The Session must not be used after.
+func (s *Session[M]) Close() {
+	if s.started && !s.closed {
+		close(s.jobs)
+	}
+	s.closed = true
+}
+
+// dispatch runs one phase across all shards: inline in sequential mode,
+// through the persistent pool otherwise. The pool starts lazily on first
+// use; the channel send orders the phase write before the workers' read,
+// and wg.Wait orders every worker write before the coordinator's next
+// read, so the round loop is barrier-clean.
+func (s *Session[M]) dispatch(phase int) {
+	s.phase = phase
+	if s.inline {
+		for i := 0; i < s.shards; i++ {
+			s.runShard(i)
+		}
+		return
+	}
+	if !s.started {
+		s.jobs = make(chan int, s.shards)
+		for w := 0; w < s.workers; w++ {
+			go func() {
+				for i := range s.jobs {
+					s.runShard(i)
+					s.wg.Done()
+				}
+			}()
+		}
+		s.started = true
+	}
+	s.wg.Add(s.shards)
+	for i := 0; i < s.shards; i++ {
+		s.jobs <- i
+	}
+	s.wg.Wait()
+}
+
+func (s *Session[M]) runShard(i int) {
+	switch s.phase {
+	case phaseInit:
+		s.initShard(i)
+	case phaseCompute:
+		s.computeShard(i)
+	case phaseDeliver:
+		s.deliverShard(i)
+	}
+}
+
+func (s *Session[M]) initShard(i int) {
+	for v := s.shardLo[i]; v < s.shardLo[i+1]; v++ {
+		var rng *rand.Rand
+		if s.randomized {
+			rng = DeriveRNG(s.seed, s.g.ID(graph.NodeID(v)))
+		}
+		s.machines[v].Init(NodeInfo{
+			N:      s.n,
+			Delta:  s.delta,
+			ID:     s.g.ID(graph.NodeID(v)),
+			Degree: s.g.Degree(graph.NodeID(v)),
+			RNG:    rng,
+		})
+	}
+}
+
+func (s *Session[M]) computeShard(i int) {
+	allDone := true
+	for v := s.shardLo[i]; v < s.shardLo[i+1]; v++ {
+		o0, o1 := s.off[v], s.off[v+1]
+		if !s.machines[v].Round(s.recv[o0:o1:o1], s.send[o0:o1:o1]) {
+			allDone = false
+		}
+	}
+	s.shardDone[i].v = allDone
+}
+
+// deliverShard gathers messages receiver-side: every port slot of the
+// shard's nodes pulls from its sender's slot in the send plane. The
+// route table is a permutation of the slot space, slots are contiguous
+// per shard, and no two shards share a slot, so the gather is a straight
+// pass over contiguous memory with no contention and no clearing pass.
+func (s *Session[M]) deliverShard(i int) {
+	lo := s.off[s.shardLo[i]]
+	hi := s.off[s.shardLo[i+1]]
+	recv, send, route := s.recv, s.send, s.route
+	if s.core.silent == nil {
+		for p := lo; p < hi; p++ {
+			recv[p] = send[route[p]]
+		}
+		s.shardDelivered[i].v += int64(hi - lo)
+		return
+	}
+	delivered := int64(0)
+	for p := lo; p < hi; p++ {
+		m := send[route[p]]
+		recv[p] = m
+		if !s.core.silent(m) {
+			delivered++
+		}
+	}
+	s.shardDelivered[i].v += delivered
+}
+
+// Reset re-initializes every machine under the given seed and clears the
+// message plane and counters, leaving the Session at round zero. It is
+// the explicit-stepping counterpart of the setup Run performs.
+func (s *Session[M]) Reset(masterSeed int64, randomized bool) {
+	s.seed = masterSeed
+	s.randomized = randomized
+	s.rounds = 0
+	clear(s.recv)
+	clear(s.send)
+	for i := range s.shardDelivered {
+		s.shardDelivered[i].v = 0
+	}
+	s.dispatch(phaseInit)
+}
+
+// Step executes one synchronous round: a compute phase and — unless
+// every machine reported done — a delivery phase. It returns whether the
+// execution has terminated. Stepping a terminated system is legal and
+// keeps invoking the machines, but note it skips delivery exactly like
+// Run's final round; allocation measurements that want the full
+// compute+deliver loop must keep at least one machine reporting not
+// done (see the pinned* wrappers in the coloring and sinkless alloc
+// tests).
+func (s *Session[M]) Step() (done bool) {
+	s.rounds++
+	s.dispatch(phaseCompute)
+	for i := range s.shardDone {
+		if !s.shardDone[i].v {
+			s.dispatch(phaseDeliver)
+			return false
+		}
+	}
+	return true
+}
+
+// Rounds returns the number of rounds executed since the last Reset.
+func (s *Session[M]) Rounds() int { return s.rounds }
+
+// Deliveries returns the messages delivered since the last Reset.
+func (s *Session[M]) Deliveries() int64 {
+	var total int64
+	for i := range s.shardDelivered {
+		total += s.shardDelivered[i].v
+	}
+	return total
+}
+
+// Run executes a full synchronous execution: Reset, then rounds until
+// every machine reports done or maxRounds is exceeded. The returned
+// Stats profile is deterministic for a given (graph, machines, seed) —
+// identical across every Workers/Shards setting and across the pooled
+// and inline modes. On ErrRoundLimit the Stats still describe the
+// partial execution.
+func (s *Session[M]) Run(masterSeed int64, randomized bool, maxRounds int) (Stats, error) {
+	s.Reset(masterSeed, randomized)
+	stats := Stats{Workers: s.workers, Shards: s.shards}
+	for round := 1; round <= maxRounds; round++ {
+		if s.Step() {
+			stats.Rounds = round
+			stats.Deliveries = s.Deliveries()
+			return stats, nil
+		}
+	}
+	stats.Rounds = maxRounds
+	stats.Deliveries = s.Deliveries()
+	return stats, ErrRoundLimit
+}

@@ -1,0 +1,315 @@
+package engine_test
+
+import (
+	"testing"
+
+	"locallab/internal/engine"
+	"locallab/internal/graph"
+)
+
+// typedGossip is the unboxed twin of gossipMachine: same digest
+// recurrence, but messages are concrete int64 values written into the
+// engine-owned send plane. Because the typed plane has no silence, it
+// always sends on every port — exactly like gossipMachine, whose boxed
+// sequential execution therefore serves as the differential oracle.
+type typedGossip struct {
+	id     int64
+	degree int
+	digest uint64
+	rounds int
+	target int
+}
+
+func (m *typedGossip) Init(info engine.NodeInfo) {
+	m.id = info.ID
+	m.degree = info.Degree
+	m.digest = uint64(info.ID) * 0x9e3779b97f4a7c15
+	m.rounds = 0
+}
+
+func (m *typedGossip) Round(recv, send []int64) bool {
+	if m.rounds > 0 {
+		for p, r := range recv {
+			m.digest = m.digest*31 + uint64(r) + uint64(p)
+		}
+	}
+	m.rounds++
+	for p := range send {
+		send[p] = int64(m.digest>>1) + int64(p)
+	}
+	return m.rounds >= m.target
+}
+
+// boxedGossipNoNil matches typedGossip on the boxed engine: it skips the
+// nil probe (messages always present after round one) so the digest
+// recurrences line up exactly.
+type boxedGossipNoNil struct {
+	typedGossip
+}
+
+func (m *boxedGossipNoNil) Round(recv []engine.Message) ([]engine.Message, bool) {
+	if m.rounds > 0 {
+		for p, r := range recv {
+			m.digest = m.digest*31 + uint64(r.(int64)) + uint64(p)
+		}
+	}
+	m.rounds++
+	send := make([]engine.Message, m.degree)
+	for p := range send {
+		send[p] = int64(m.digest>>1) + int64(p)
+	}
+	return send, m.rounds >= m.target
+}
+
+func typedDigests(t testing.TB, g *graph.Graph, opts engine.Options) ([]uint64, engine.Stats) {
+	t.Helper()
+	machines := make([]typedGossip, g.NumNodes())
+	typed := make([]engine.TypedMachine[int64], g.NumNodes())
+	for v := range typed {
+		machines[v].target = 20
+		typed[v] = &machines[v]
+	}
+	stats, err := engine.NewCore[int64](opts).RunStats(g, typed, 42, false, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, g.NumNodes())
+	for v := range out {
+		out[v] = machines[v].digest
+	}
+	return out, stats
+}
+
+// TestTypedCoreMatchesBoxedOracle differential-tests the typed core —
+// pooled across a worker/shard grid and in the inline sequential mode —
+// against the boxed sequential reference running the equivalent boxed
+// machine. Digests, rounds, and deliveries must be identical: with no
+// silent ports the boxed non-nil delivery count equals the typed
+// all-slots count.
+func TestTypedCoreMatchesBoxedOracle(t *testing.T) {
+	configs := []engine.Options{
+		{Sequential: true},
+		{Workers: 1, Shards: 1},
+		{Workers: 1, Shards: 5},
+		{Workers: 3, Shards: 7},
+		{Workers: 8, Shards: 32},
+		{Workers: 16, Shards: 1000}, // more shards than nodes
+		{},                          // defaults
+	}
+	for name, g := range testGraphs(t) {
+		machines := make([]engine.Machine, g.NumNodes())
+		for v := range machines {
+			machines[v] = &boxedGossipNoNil{typedGossip{target: 20}}
+		}
+		wantStats, err := engine.New(engine.Options{Sequential: true}).RunStats(g, machines, 42, false, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint64, g.NumNodes())
+		for v := range machines {
+			want[v] = machines[v].(*boxedGossipNoNil).digest
+		}
+		for _, opts := range configs {
+			got, stats := typedDigests(t, g, opts)
+			if stats.Rounds != wantStats.Rounds || stats.Deliveries != wantStats.Deliveries {
+				t.Errorf("%s %+v: stats rounds=%d deliveries=%d, want rounds=%d deliveries=%d",
+					name, opts, stats.Rounds, stats.Deliveries, wantStats.Rounds, wantStats.Deliveries)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s %+v: node %d digest %x, want %x", name, opts, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSessionReuseAndStepping: a Session reused across Runs reproduces
+// identical executions, and the explicit Reset/Step loop is equivalent
+// to Run.
+func TestSessionReuseAndStepping(t *testing.T) {
+	g, err := graph.NewRandomRegular(120, 3, 11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := make([]typedGossip, g.NumNodes())
+	typed := make([]engine.TypedMachine[int64], g.NumNodes())
+	for v := range typed {
+		machines[v].target = 12
+		typed[v] = &machines[v]
+	}
+	sess, err := engine.NewCore[int64](engine.Options{Workers: 3, Shards: 8}).NewSession(g, typed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	first, err := sess.Run(7, false, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest0 := machines[0].digest
+
+	// Rerun on the same session: buffers are reused, results identical.
+	again, err := sess.Run(7, false, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("session rerun stats %+v, want %+v", again, first)
+	}
+	if machines[0].digest != digest0 {
+		t.Fatal("session rerun changed machine digest")
+	}
+
+	// Manual stepping reproduces Run exactly.
+	sess.Reset(7, false)
+	steps := 0
+	for {
+		steps++
+		if sess.Step() {
+			break
+		}
+		if steps > 100 {
+			t.Fatal("stepping did not terminate")
+		}
+	}
+	if steps != first.Rounds || sess.Rounds() != first.Rounds {
+		t.Fatalf("stepped rounds = %d (session says %d), want %d", steps, sess.Rounds(), first.Rounds)
+	}
+	if sess.Deliveries() != first.Deliveries {
+		t.Fatalf("stepped deliveries = %d, want %d", sess.Deliveries(), first.Deliveries)
+	}
+	if machines[0].digest != digest0 {
+		t.Fatal("stepped execution changed machine digest")
+	}
+}
+
+// TestTypedCoreMachineCountMismatch mirrors the boxed validation.
+func TestTypedCoreMachineCountMismatch(t *testing.T) {
+	g, err := graph.NewCycle(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.NewCore[int64](engine.Options{}).Run(g, make([]engine.TypedMachine[int64], 3), 0, false, 10); err == nil {
+		t.Fatal("expected machine/node count mismatch error")
+	}
+}
+
+// TestTypedCoreRoundLimit: the typed core honors the round budget.
+func TestTypedCoreRoundLimit(t *testing.T) {
+	g, err := graph.NewCycle(12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := make([]typedGossip, g.NumNodes())
+	typed := make([]engine.TypedMachine[int64], g.NumNodes())
+	for v := range typed {
+		machines[v].target = 1 << 30 // never done
+		typed[v] = &machines[v]
+	}
+	rounds, err := engine.NewCore[int64](engine.Options{Workers: 4}).Run(g, typed, 0, false, 9)
+	if err != engine.ErrRoundLimit {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+	if rounds != 9 {
+		t.Fatalf("rounds = %d, want 9", rounds)
+	}
+}
+
+// TestTypedCoreSteadyStateAllocs pins the zero-allocation property of
+// the typed round loop itself — engine side only, with a trivially
+// allocation-free machine — in both execution modes. The solver-level
+// pins (engine + machine combined) live with the CV and sinkless
+// machines.
+func TestTypedCoreSteadyStateAllocs(t *testing.T) {
+	g, err := graph.NewRandomRegular(256, 3, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts engine.Options
+	}{
+		{"inline", engine.Options{Sequential: true}},
+		{"pooled", engine.Options{Workers: 4, Shards: 16}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			machines := make([]typedGossip, g.NumNodes())
+			typed := make([]engine.TypedMachine[int64], g.NumNodes())
+			for v := range typed {
+				machines[v].target = 1 << 30
+				typed[v] = &machines[v]
+			}
+			sess, err := engine.NewCore[int64](mode.opts).NewSession(g, typed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			sess.Reset(1, false)
+			for i := 0; i < 4; i++ {
+				sess.Step() // reach steady state (pool spawned, caches warm)
+			}
+			if allocs := testing.AllocsPerRun(32, func() { sess.Step() }); allocs != 0 {
+				t.Fatalf("steady-state Step allocates %v times per round, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreTyped2048 is the unboxed counterpart of BenchmarkPool2048:
+// the same gossip workload with concrete int64 messages on the typed
+// core. Compare ns/op and allocs/op against the boxed benchmarks below
+// it in this package.
+func BenchmarkCoreTyped2048(b *testing.B) {
+	g, err := graph.NewRandomRegular(2048, 3, 5, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := make([]typedGossip, g.NumNodes())
+	typed := make([]engine.TypedMachine[int64], g.NumNodes())
+	for v := range typed {
+		machines[v].target = 16
+		typed[v] = &machines[v]
+	}
+	core := engine.NewCore[int64](engine.Options{})
+	sess, err := core.NewSession(g, typed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Run(int64(i), false, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreTypedSteadyState2048 measures the raw round loop —
+// compute + deliver, no setup — and must report 0 allocs/op.
+func BenchmarkCoreTypedSteadyState2048(b *testing.B) {
+	g, err := graph.NewRandomRegular(2048, 3, 5, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := make([]typedGossip, g.NumNodes())
+	typed := make([]engine.TypedMachine[int64], g.NumNodes())
+	for v := range typed {
+		machines[v].target = 1 << 30
+		typed[v] = &machines[v]
+	}
+	sess, err := engine.NewCore[int64](engine.Options{}).NewSession(g, typed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	sess.Reset(1, false)
+	sess.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Step()
+	}
+}

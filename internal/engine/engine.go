@@ -29,7 +29,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -93,12 +92,30 @@ type Options struct {
 
 // Engine executes synchronous rounds under fixed Options. The zero value
 // is usable and equivalent to New(Options{}).
+//
+// Engine is the boxed-message compatibility API: its sharded path is a
+// thin adapter over the typed Core[Message] — machines still return
+// interface{} payload slices, which the adapter copies into the core's
+// flat message plane. New message-passing code should implement
+// TypedMachine on a concrete message type and run on a Core directly;
+// that removes the per-message boxing and the per-round send-slice
+// allocation entirely.
 type Engine struct {
 	opts Options
 }
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine { return &Engine{opts: opts} }
+
+// Options returns the options the engine was created with. Typed solvers
+// use it to mirror an injected boxed engine's configuration onto their
+// Core.
+func (e *Engine) Options() Options {
+	if e == nil {
+		return DefaultOptions()
+	}
+	return e.opts
+}
 
 // Package-level defaults, settable from command-line flags. Stored as
 // atomics so flag threading never races with concurrent Runs.
@@ -162,6 +179,11 @@ func (e *Engine) Run(g *graph.Graph, machines []Machine, masterSeed int64, rando
 // RunStats is Run plus the execution profile of the run. On error the
 // returned Stats still describe the partial execution (rounds executed so
 // far, deliveries counted so far).
+//
+// The sharded path is the boxed-compatibility adapter over the typed
+// Core[Message]: machine send slices are copied into the core's flat
+// send plane (nil-padded when short), and nil messages count as silent
+// for Stats.Deliveries, exactly as before the typed rewrite.
 func (e *Engine) RunStats(g *graph.Graph, machines []Machine, masterSeed int64, randomized bool, maxRounds int) (Stats, error) {
 	n := g.NumNodes()
 	if len(machines) != n {
@@ -170,84 +192,35 @@ func (e *Engine) RunStats(g *graph.Graph, machines []Machine, masterSeed int64, 
 	if e.opts.Sequential {
 		return runSequential(g, machines, masterSeed, randomized, maxRounds)
 	}
-	workers := e.opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	core := &Core[Message]{
+		opts:   e.opts,
+		silent: func(m Message) bool { return m == nil },
 	}
-	shards := e.opts.Shards
-	if shards <= 0 {
-		shards = 4 * workers
+	adapters := make([]boxedMachine, n)
+	typed := make([]TypedMachine[Message], n)
+	for v := range machines {
+		adapters[v].m = machines[v]
+		typed[v] = &adapters[v]
 	}
-	if shards > n {
-		shards = n
-	}
-	if workers > shards {
-		workers = shards
-	}
+	return core.RunStats(g, typed, masterSeed, randomized, maxRounds)
+}
 
-	st := newRunState(g, machines, masterSeed, randomized, shards)
+// boxedMachine adapts a boxed Machine to the typed plane: the returned
+// send slice is copied into the engine-owned buffer and nil-padded, so
+// short outboxes and silent ports keep their original meaning.
+type boxedMachine struct {
+	m Machine
+}
 
-	// Persistent pool: workers live for the whole Run and pull shard
-	// indices from the job channel. The coordinator writes st.phase
-	// before dispatching; the channel send orders that write before the
-	// worker's read, and wg.Wait orders every worker write before the
-	// coordinator's next read — the whole round loop is barrier-clean.
-	jobs := make(chan int, shards)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		go func() {
-			for s := range jobs {
-				switch st.phase {
-				case phaseInit:
-					st.initShard(s)
-				case phaseCompute:
-					st.computeShard(s)
-				case phaseDeliver:
-					st.deliverShard(s)
-				}
-				wg.Done()
-			}
-		}()
-	}
-	defer close(jobs)
-	dispatch := func(p int) {
-		st.phase = p
-		wg.Add(shards)
-		for s := 0; s < shards; s++ {
-			jobs <- s
-		}
-		wg.Wait()
-	}
+func (a *boxedMachine) Init(info NodeInfo) { a.m.Init(info) }
 
-	stats := Stats{Workers: workers, Shards: shards}
-	sumDelivered := func() int64 {
-		var total int64
-		for i := range st.shardDelivered {
-			total += st.shardDelivered[i].v
-		}
-		return total
+func (a *boxedMachine) Round(recv, send []Message) bool {
+	out, done := a.m.Round(recv)
+	k := copy(send, out)
+	for i := k; i < len(send); i++ {
+		send[i] = nil
 	}
-	dispatch(phaseInit)
-	for round := 1; round <= maxRounds; round++ {
-		dispatch(phaseCompute)
-		allDone := true
-		for _, d := range st.shardDone {
-			if !d.v {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			stats.Rounds = round
-			stats.Deliveries = sumDelivered()
-			return stats, nil
-		}
-		dispatch(phaseDeliver)
-		st.cur, st.nxt = st.nxt, st.cur
-	}
-	stats.Rounds = maxRounds
-	stats.Deliveries = sumDelivered()
-	return stats, ErrRoundLimit
+	return done
 }
 
 // Execution phases of the round loop.
@@ -256,13 +229,6 @@ const (
 	phaseCompute
 	phaseDeliver
 )
-
-// source locates the sender-side slot a port reads its message from: port
-// q of node u is the opposite half of the receiving port's edge.
-type source struct {
-	node graph.NodeID
-	port int32
-}
 
 // paddedBool keeps per-shard flags on separate cache lines so concurrent
 // shard completions do not false-share.
@@ -276,123 +242,6 @@ type paddedBool struct {
 type paddedCount struct {
 	v int64
 	_ [56]byte
-}
-
-// runState is the per-Run scratch space: route table, the double-buffered
-// message plane, and the reused outbox. Everything is allocated once.
-type runState struct {
-	g          *graph.Graph
-	machines   []Machine
-	seed       int64
-	randomized bool
-	n          int
-	delta      int
-
-	off    []int    // off[v]..off[v+1] delimit node v in the flat planes
-	route  []source // flat route table, same indexing as the planes
-	cur    []Message
-	nxt    []Message
-	outbox [][]Message
-
-	shardLo        []int // shardLo[s]..shardLo[s+1] is shard s's node range
-	shardDone      []paddedBool
-	shardDelivered []paddedCount // non-nil deliveries routed into each shard
-
-	phase int
-}
-
-func newRunState(g *graph.Graph, machines []Machine, seed int64, randomized bool, shards int) *runState {
-	n := g.NumNodes()
-	st := &runState{
-		g:              g,
-		machines:       machines,
-		seed:           seed,
-		randomized:     randomized,
-		n:              n,
-		delta:          g.MaxDegree(),
-		off:            make([]int, n+1),
-		outbox:         make([][]Message, n),
-		shardLo:        make([]int, shards+1),
-		shardDone:      make([]paddedBool, shards),
-		shardDelivered: make([]paddedCount, shards),
-	}
-	for v := 0; v < n; v++ {
-		st.off[v+1] = st.off[v] + g.Degree(graph.NodeID(v))
-	}
-	total := st.off[n]
-	st.route = make([]source, total)
-	st.cur = make([]Message, total)
-	st.nxt = make([]Message, total)
-	for v := 0; v < n; v++ {
-		for p := st.off[v]; p < st.off[v+1]; p++ {
-			h := g.HalfAt(graph.NodeID(v), int32(p-st.off[v]))
-			opp := g.OppositeHalf(h)
-			st.route[p] = source{node: g.HalfNode(opp), port: g.HalfPort(opp)}
-		}
-	}
-	// Contiguous shard boundaries; the first n%shards shards take one
-	// extra node.
-	base, rem := n/shards, n%shards
-	for s := 0; s < shards; s++ {
-		size := base
-		if s < rem {
-			size++
-		}
-		st.shardLo[s+1] = st.shardLo[s] + size
-	}
-	return st
-}
-
-func (st *runState) initShard(s int) {
-	for v := st.shardLo[s]; v < st.shardLo[s+1]; v++ {
-		var rng *rand.Rand
-		if st.randomized {
-			rng = DeriveRNG(st.seed, st.g.ID(graph.NodeID(v)))
-		}
-		st.machines[v].Init(NodeInfo{
-			N:      st.n,
-			Delta:  st.delta,
-			ID:     st.g.ID(graph.NodeID(v)),
-			Degree: st.g.Degree(graph.NodeID(v)),
-			RNG:    rng,
-		})
-	}
-}
-
-func (st *runState) computeShard(s int) {
-	allDone := true
-	for v := st.shardLo[s]; v < st.shardLo[s+1]; v++ {
-		send, fin := st.machines[v].Round(st.cur[st.off[v]:st.off[v+1]:st.off[v+1]])
-		st.outbox[v] = send
-		if !fin {
-			allDone = false
-		}
-	}
-	st.shardDone[s].v = allDone
-}
-
-// deliverShard routes messages receiver-side: each port of each node in
-// the shard pulls from its sender's outbox slot. Every slot of the next
-// plane is overwritten, so no clearing pass is needed, and no two workers
-// ever write the same slot.
-func (st *runState) deliverShard(s int) {
-	delivered := int64(0)
-	for v := st.shardLo[s]; v < st.shardLo[s+1]; v++ {
-		in := st.nxt[st.off[v]:st.off[v+1]]
-		rt := st.route[st.off[v]:st.off[v+1]]
-		for p := range in {
-			src := rt[p]
-			if ob := st.outbox[src.node]; int(src.port) < len(ob) {
-				in[p] = ob[src.port]
-				if in[p] != nil {
-					delivered++
-				}
-			} else {
-				in[p] = nil
-			}
-		}
-	}
-	st.shardDelivered[s].v += delivered
 }
 
 // runSequential is the reference implementation: a direct, goroutine-free

@@ -14,7 +14,7 @@ func (g *Graph) BFSFrom(v NodeID, radius int) map[NodeID]int {
 		if radius >= 0 && dx == radius {
 			continue
 		}
-		for _, h := range g.adj[x] {
+		for _, h := range g.Halves(x) {
 			y := g.edges[h.Edge].Other(h.Side).Node
 			if _, ok := dist[y]; !ok {
 				dist[y] = dx + 1
@@ -48,7 +48,7 @@ func (g *Graph) BallAround(v NodeID, radius int) *Ball {
 	seen := make(map[EdgeID]struct{}, len(dist)*2)
 	var edges []EdgeID
 	for x := range dist {
-		for _, h := range g.adj[x] {
+		for _, h := range g.Halves(x) {
 			e := h.Edge
 			if _, dup := seen[e]; dup {
 				continue
@@ -94,7 +94,7 @@ func (g *Graph) Components() ([][]NodeID, []int) {
 			x := queue[0]
 			queue = queue[1:]
 			nodes = append(nodes, x)
-			for _, h := range g.adj[x] {
+			for _, h := range g.Halves(x) {
 				y := g.edges[h.Edge].Other(h.Side).Node
 				if comp[y] < 0 {
 					comp[y] = idx

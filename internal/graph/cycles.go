@@ -24,7 +24,7 @@ func (g *Graph) ShortestCycleThrough(v NodeID, maxLen int) (int, bool) {
 		best = maxLen + 1
 	}
 	// Self-loop: length 1.
-	for _, h := range g.adj[v] {
+	for _, h := range g.Halves(v) {
 		if g.IsSelfLoop(h.Edge) {
 			return 1, true
 		}
@@ -36,8 +36,8 @@ func (g *Graph) ShortestCycleThrough(v NodeID, maxLen int) (int, bool) {
 		port int32
 		nbr  NodeID
 	}
-	ports := make([]portInfo, 0, len(g.adj[v]))
-	for p, h := range g.adj[v] {
+	ports := make([]portInfo, 0, len(g.Halves(v)))
+	for p, h := range g.Halves(v) {
 		ports = append(ports, portInfo{port: int32(p), nbr: g.edges[h.Edge].Other(h.Side).Node})
 	}
 	for i := 0; i < len(ports); i++ {
@@ -84,7 +84,7 @@ func (g *Graph) bfsAvoiding(src, avoid NodeID, radius int) map[NodeID]int {
 		if radius >= 0 && dx >= radius {
 			continue
 		}
-		for _, h := range g.adj[x] {
+		for _, h := range g.Halves(x) {
 			y := g.edges[h.Edge].Other(h.Side).Node
 			if y == avoid {
 				continue
@@ -148,7 +148,7 @@ func (g *Graph) PropagatePotential(src []int) []int {
 		if it.val > t[it.node] {
 			continue
 		}
-		for _, h := range g.adj[it.node] {
+		for _, h := range g.Halves(it.node) {
 			y := g.edges[h.Edge].Other(h.Side).Node
 			if it.val+1 < t[y] {
 				t[y] = it.val + 1
@@ -320,7 +320,7 @@ func (g *Graph) enumerateCyclesThrough(v NodeID, length, capCycles int) ([]Cycle
 	if length == 1 {
 		// Self-loops.
 		var out []Cycle
-		for _, h := range g.adj[v] {
+		for _, h := range g.Halves(v) {
 			if g.IsSelfLoop(h.Edge) && h.Side == SideU {
 				out = append(out, Cycle{Walk: []Half{h}})
 			}
@@ -334,7 +334,7 @@ func (g *Graph) enumerateCyclesThrough(v NodeID, length, capCycles int) ([]Cycle
 
 	var dfs func(cur NodeID, steps int) error
 	dfs = func(cur NodeID, steps int) error {
-		for _, h := range g.adj[cur] {
+		for _, h := range g.Halves(cur) {
 			next := g.edges[h.Edge].Other(h.Side).Node
 			if steps > 0 && h.Edge == walk[steps-1].Edge {
 				continue // no immediate edge backtracking
@@ -371,7 +371,7 @@ func (g *Graph) enumerateCyclesThrough(v NodeID, length, capCycles int) ([]Cycle
 	}
 	walk = walk[:0]
 	// Seed: first step from v.
-	for _, h := range g.adj[v] {
+	for _, h := range g.Halves(v) {
 		next := g.edges[h.Edge].Other(h.Side).Node
 		if next == v {
 			continue // loops handled above, and a loop cannot start a longer simple cycle

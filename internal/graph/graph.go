@@ -15,6 +15,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // NodeID indexes a node within a Graph (dense, 0-based).
@@ -81,11 +82,25 @@ func (e Edge) Other(s Side) Endpoint {
 
 // Graph is an immutable bounded-degree multigraph with port numbering.
 // Build one with a Builder.
+//
+// Adjacency is stored in CSR (compressed sparse row) form: one flat
+// halves array holding every port of every node back to back, delimited
+// by an offsets array. A node's ports therefore occupy one contiguous
+// run of "port slots" — slot off[v]+p is port p of node v — and the same
+// slot numbering indexes the execution engine's flat message planes, so
+// neighbor iteration and message delivery both walk contiguous memory.
 type Graph struct {
-	ids   []int64 // unique identifier of each node
-	edges []Edge
-	adj   [][]Half // adj[v][p] = half-edge attached at port p of node v
-	maxID int64
+	ids    []int64 // unique identifier of each node
+	edges  []Edge
+	off    []int32 // CSR offsets: ports of node v live at off[v]..off[v+1]
+	halves []Half  // flat CSR halves array: halves[off[v]+p] is port p of v
+	maxID  int64
+	maxDeg int
+
+	// route, built lazily, maps each port slot to the slot holding the
+	// opposite half of its edge (the sender a receiving port reads from).
+	routeOnce sync.Once
+	route     []int32
 }
 
 // NumNodes returns n, the number of nodes.
@@ -97,6 +112,10 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 // NumHalves returns 2*|E|, the size of B.
 func (g *Graph) NumHalves() int { return 2 * len(g.edges) }
 
+// NumPorts returns the total number of port slots, which equals
+// NumHalves: every half-edge occupies exactly one slot.
+func (g *Graph) NumPorts() int { return len(g.halves) }
+
 // ID returns the unique identifier of node v.
 func (g *Graph) ID(v NodeID) int64 { return g.ids[v] }
 
@@ -104,28 +123,47 @@ func (g *Graph) ID(v NodeID) int64 { return g.ids[v] }
 func (g *Graph) MaxIdentifier() int64 { return g.maxID }
 
 // Degree returns the degree of node v; self-loops contribute 2.
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int { return int(g.off[v+1] - g.off[v]) }
 
 // MaxDegree returns Δ, the maximum degree over all nodes.
-func (g *Graph) MaxDegree() int {
-	d := 0
-	for v := range g.adj {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
-		}
-	}
-	return d
-}
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // Edge returns the edge with the given ID.
 func (g *Graph) Edge(e EdgeID) Edge { return g.edges[e] }
 
 // HalfAt returns the half-edge attached at port p of node v.
-func (g *Graph) HalfAt(v NodeID, p int32) Half { return g.adj[v][p] }
+func (g *Graph) HalfAt(v NodeID, p int32) Half { return g.halves[g.off[v]+p] }
 
-// Halves returns the half-edges attached to v in port order. The returned
-// slice must not be modified.
-func (g *Graph) Halves(v NodeID) []Half { return g.adj[v] }
+// Halves returns the half-edges attached to v in port order: a view into
+// the CSR halves array. The returned slice must not be modified.
+func (g *Graph) Halves(v NodeID) []Half { return g.halves[g.off[v]:g.off[v+1]] }
+
+// PortOffsets returns the CSR offsets array (length n+1): the ports of
+// node v occupy slots off[v]..off[v+1] of the flat halves array and of
+// any plane indexed by port slot. The returned slice must not be
+// modified.
+func (g *Graph) PortOffsets() []int32 { return g.off }
+
+// PortSlot returns the global port-slot index of port p of node v.
+func (g *Graph) PortSlot(v NodeID, p int32) int { return int(g.off[v] + p) }
+
+// RouteTable returns the delivery route in port-slot space: route[s] is
+// the slot of the opposite half of the edge whose half occupies slot s,
+// i.e. the slot a receiving port gathers its message from. It is computed
+// once per graph and shared by every engine run; the returned slice must
+// not be modified.
+func (g *Graph) RouteTable() []int32 {
+	g.routeOnce.Do(func() {
+		route := make([]int32, len(g.halves))
+		for s, h := range g.halves {
+			opp := g.OppositeHalf(h)
+			ep := g.edges[opp.Edge].At(opp.Side)
+			route[s] = g.off[ep.Node] + ep.Port
+		}
+		g.route = route
+	})
+	return g.route
+}
 
 // HalfNode returns the node to which the half-edge h is attached.
 func (g *Graph) HalfNode(h Half) NodeID { return g.edges[h.Edge].At(h.Side).Node }
@@ -137,7 +175,7 @@ func (g *Graph) HalfPort(h Half) int32 { return g.edges[h.Edge].At(h.Side).Port 
 // port p of node v (which is v itself for a self-loop), together with
 // that edge's ID.
 func (g *Graph) NeighborAt(v NodeID, p int32) (NodeID, EdgeID) {
-	h := g.adj[v][p]
+	h := g.halves[g.off[v]+p]
 	return g.edges[h.Edge].Other(h.Side).Node, h.Edge
 }
 
@@ -231,7 +269,8 @@ func (b *Builder) MustAddEdge(u, v NodeID) EdgeID {
 // ErrEmptyGraph is returned by Build for graphs with no nodes.
 var ErrEmptyGraph = errors.New("graph has no nodes")
 
-// Build finalizes the builder into an immutable Graph.
+// Build finalizes the builder into an immutable Graph, flattening the
+// per-node adjacency lists into the CSR offsets + halves arrays.
 func (b *Builder) Build() (*Graph, error) {
 	if len(b.ids) == 0 {
 		return nil, ErrEmptyGraph
@@ -242,7 +281,20 @@ func (b *Builder) Build() (*Graph, error) {
 			maxID = id
 		}
 	}
-	return &Graph{ids: b.ids, edges: b.edges, adj: b.adj, maxID: maxID}, nil
+	n := len(b.ids)
+	off := make([]int32, n+1)
+	maxDeg := 0
+	for v, ports := range b.adj {
+		off[v+1] = off[v] + int32(len(ports))
+		if len(ports) > maxDeg {
+			maxDeg = len(ports)
+		}
+	}
+	halves := make([]Half, 0, off[n])
+	for _, ports := range b.adj {
+		halves = append(halves, ports...)
+	}
+	return &Graph{ids: b.ids, edges: b.edges, off: off, halves: halves, maxID: maxID, maxDeg: maxDeg}, nil
 }
 
 // MustBuild is Build that panics on error, for generators and tests.

@@ -113,6 +113,12 @@ type NodeInfo = engine.NodeInfo
 // algorithm.
 type Machine = engine.Machine
 
+// TypedMachine is the unboxed per-node program: messages are concrete
+// values of M exchanged through the typed engine core's flat planes
+// instead of boxed interface{} payloads. See engine.TypedMachine for the
+// contract (no silence, engine-owned send buffers).
+type TypedMachine[M any] = engine.TypedMachine[M]
+
 // ErrRoundLimit is returned by Run when machines do not all terminate
 // within the round budget.
 var ErrRoundLimit = engine.ErrRoundLimit
@@ -146,6 +152,19 @@ func RunStatsWith(e *engine.Engine, g *graph.Graph, machines []Machine, masterSe
 		e = engine.New(engine.DefaultOptions())
 	}
 	st, err := e.RunStats(g, machines, masterSeed, randomized, maxRounds)
+	if err != nil && err != engine.ErrRoundLimit {
+		return st, fmt.Errorf("run: %w", err)
+	}
+	return st, err
+}
+
+// RunStatsTyped is the unboxed counterpart of RunStatsWith: it executes
+// typed machines on a Core configured with the given engine's options (a
+// nil engine falls back to the package-level defaults). Solvers with an
+// optional Engine field dispatch their typed path through here, mirroring
+// how their boxed oracle path dispatches through RunStatsWith.
+func RunStatsTyped[M any](e *engine.Engine, g *graph.Graph, machines []TypedMachine[M], masterSeed int64, randomized bool, maxRounds int) (engine.Stats, error) {
+	st, err := engine.NewCore[M](e.Options()).RunStats(g, machines, masterSeed, randomized, maxRounds)
 	if err != nil && err != engine.ErrRoundLimit {
 		return st, fmt.Errorf("run: %w", err)
 	}

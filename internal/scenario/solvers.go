@@ -38,8 +38,9 @@ type Solver struct {
 	// scenarios use the "padded" pseudo-family and sizes are base-graph
 	// node counts.
 	Padded bool
-	// EngineAware marks solvers that execute on the sharded engine and
-	// honor a scenario's engine parameters.
+	// EngineAware marks solvers that execute on the sharded engine (the
+	// typed zero-allocation core since the Core[M] rewrite) and honor a
+	// scenario's engine parameters.
 	EngineAware bool
 
 	// run measures one grid cell. For padded solvers g is nil and n is

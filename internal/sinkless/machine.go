@@ -234,6 +234,13 @@ func (m *smachine) pickTarget(recv []local.Message) int {
 // demonstrates that the randomized solver is implementable with pure
 // message passing; RandSolver remains the reference implementation with
 // wave-exact cost accounting.
+//
+// The sharded path runs the unboxed smTyped machine on the typed engine
+// core (typed.go) — no per-message boxing, no per-round send-slice
+// allocation. An injected Sequential engine instead runs the boxed
+// smachine through the sequential reference oracle, so the existing
+// differential tests pit the typed sharded execution against the boxed
+// oracle.
 type MessageSolver struct {
 	// MaxRounds caps the runtime.
 	MaxRounds int
@@ -263,14 +270,38 @@ func (s *MessageSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lc
 	if err := checkSolvable(g); err != nil {
 		return nil, nil, err
 	}
-	machines := make([]local.Machine, g.NumNodes())
-	states := make([]*smachine, g.NumNodes())
-	for v := range machines {
-		sm := &smachine{}
-		machines[v] = sm
-		states[v] = sm
+	n := g.NumNodes()
+	var (
+		stats engine.Stats
+		err   error
+		outs  = make([][]bool, n) // per-node out-edge flags, either path
+	)
+	if s.Engine.Options().Sequential {
+		// Boxed oracle path: the original interface{}-message machine on
+		// the sequential reference implementation.
+		machines := make([]local.Machine, n)
+		states := make([]*smachine, n)
+		for v := range machines {
+			sm := &smachine{}
+			machines[v] = sm
+			states[v] = sm
+		}
+		stats, err = local.RunStatsWith(s.Engine, g, machines, seed, true, s.MaxRounds)
+		for v := range states {
+			outs[v] = states[v].out
+		}
+	} else {
+		// Production path: unboxed machines on the typed engine core.
+		machines := make([]smTyped, n)
+		typed := make([]engine.TypedMachine[smMsg], n)
+		for v := range typed {
+			typed[v] = &machines[v]
+		}
+		stats, err = local.RunStatsTyped(s.Engine, g, typed, seed, true, s.MaxRounds)
+		for v := range machines {
+			outs[v] = machines[v].out
+		}
 	}
-	stats, err := local.RunStatsWith(s.Engine, g, machines, seed, true, s.MaxRounds)
 	if err != nil {
 		return nil, nil, fmt.Errorf("message solver: %w", err)
 	}
@@ -278,7 +309,7 @@ func (s *MessageSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lc
 	s.LastStats = stats
 	out := lcl.NewLabeling(g)
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-		for p, o := range states[v].out {
+		for p, o := range outs[v] {
 			h := g.HalfAt(v, int32(p))
 			if o {
 				out.SetHalf(h, LabelOut)

@@ -1,0 +1,207 @@
+package sinkless
+
+import (
+	"math/rand"
+
+	"locallab/internal/engine"
+)
+
+// smTyped is the unboxed smachine: the same sinkless-orientation
+// protocol (claims, symmetric resolution, sink-repair walks) exchanging
+// concrete smMsg values through the typed engine core instead of boxed
+// interface{} messages. Its state evolution — including the order of RNG
+// draws — is identical to smachine's, which stays in-tree as the
+// sequential differential-testing oracle; the grid tests in the root
+// package pin the two byte-identical.
+//
+// The per-round send-slice allocation of the boxed machine disappears:
+// Round writes into the engine-owned flat plane, and the only mutable
+// per-port scratch (granted) is allocated once in Init, so the
+// steady-state round loop allocates nothing.
+type smTyped struct {
+	info    engine.NodeInfo
+	rng     *rand.Rand
+	round   int
+	claimP  int // claimed port
+	nbrID   []int64
+	out     []bool // out[p]: edge at port p currently leaves this node
+	granted []bool // granted[p]: this round released the edge at port p
+	reqPort int    // port requested this iteration (-1 none)
+	sinkFor int    // consecutive iterations spent as a sink
+}
+
+var _ engine.TypedMachine[smMsg] = (*smTyped)(nil)
+
+func (m *smTyped) Init(info engine.NodeInfo) {
+	m.info = info
+	m.rng = info.RNG
+	if m.rng == nil {
+		// Deterministic fallback keeps the machine usable in tests that
+		// run the runtime in deterministic mode.
+		m.rng = rand.New(rand.NewSource(info.ID))
+	}
+	m.round = 0
+	m.nbrID = make([]int64, info.Degree)
+	m.out = make([]bool, info.Degree)
+	m.granted = make([]bool, info.Degree)
+	m.reqPort = -1
+	m.sinkFor = 0
+	if info.Degree > 0 {
+		m.claimP = m.rng.Intn(info.Degree)
+	}
+}
+
+func (m *smTyped) outDeg() int {
+	d := 0
+	for _, o := range m.out {
+		if o {
+			d++
+		}
+	}
+	return d
+}
+
+func (m *smTyped) isSink() bool { return m.info.Degree > 0 && m.outDeg() == 0 }
+
+func (m *smTyped) Round(recv, send []smMsg) bool {
+	round := m.round
+	m.round++
+	deg := m.info.Degree
+	if round == 0 {
+		// Announce identifier and claim. recv holds zero values here —
+		// no messages have arrived yet.
+		for p := 0; p < deg; p++ {
+			send[p] = smMsg{ID: m.info.ID, Claim: p == m.claimP}
+		}
+		return deg == 0
+	}
+	if round == 1 {
+		// Record all neighbor identifiers first: self-loop port pairing
+		// needs the complete table.
+		for p := 0; p < deg; p++ {
+			m.nbrID[p] = recv[p].ID
+		}
+		// Resolve every edge locally and symmetrically.
+		for p := 0; p < deg; p++ {
+			mine := p == m.claimP
+			theirs := recv[p].Claim
+			switch {
+			case mine && !theirs:
+				m.out[p] = true
+			case theirs && !mine:
+				m.out[p] = false
+			default:
+				// Both or neither: larger identifier takes the edge.
+				// Self-loops (ID == own ID) stay "out" on the lower port
+				// by convention, giving the node an out-edge.
+				if recv[p].ID == m.info.ID {
+					m.out[p] = p < m.oppositeLoopPort(p)
+				} else {
+					m.out[p] = m.info.ID > recv[p].ID
+				}
+			}
+		}
+	}
+
+	// Repair iterations alternate: even rounds send status+requests, odd
+	// rounds send grants. Grants received flip edges toward us. granted
+	// is the engine-buffer-safe replacement for the boxed machine's
+	// "write a grant into the fresh send slice, merge later" pattern: the
+	// typed send plane is reused across rounds, so grants are staged here
+	// and folded into the status messages below.
+	for p := 0; p < deg; p++ {
+		m.granted[p] = false
+	}
+	if round > 1 {
+		for p := 0; p < deg; p++ {
+			if recv[p].Grant {
+				m.out[p] = true
+			}
+			if recv[p].Request && m.shouldGrantTyped(p) {
+				m.out[p] = false
+				m.granted[p] = true
+			}
+		}
+	}
+	if m.isSink() {
+		m.sinkFor++
+	} else {
+		m.sinkFor = 0
+		m.reqPort = -1
+	}
+	// Status everywhere; sinks additionally place one request.
+	if m.isSink() && round%2 == 0 {
+		m.reqPort = m.pickTargetTyped(recv)
+	}
+	anySinkNearby := m.isSink()
+	for p := 0; p < deg; p++ {
+		if recv[p].IsSink {
+			anySinkNearby = true
+		}
+		out := smMsg{ID: m.info.ID, OutDeg: m.outDeg(), IsSink: m.isSink()}
+		if m.isSink() && p == m.reqPort {
+			out.Request = true
+		}
+		if m.granted[p] {
+			out.Grant = true
+		}
+		send[p] = out
+	}
+	return round >= 3 && !anySinkNearby
+}
+
+// oppositeLoopPort finds the other port of a self-loop given one side,
+// pairing loop ports in ascending order exactly like the boxed machine.
+func (m *smTyped) oppositeLoopPort(p int) int {
+	var loops []int
+	for q := 0; q < m.info.Degree; q++ {
+		if m.nbrID[q] == m.info.ID {
+			loops = append(loops, q)
+		}
+	}
+	for i := 0; i+1 < len(loops); i += 2 {
+		if loops[i] == p {
+			return loops[i+1]
+		}
+		if loops[i+1] == p {
+			return loops[i]
+		}
+	}
+	return p
+}
+
+// shouldGrantTyped decides whether to release the edge at port p to a
+// requesting sink: always with surplus, with probability 1/2 at
+// out-degree 1 (the walking step), never when already a sink. The RNG
+// draw order matches smachine.shouldGrant exactly.
+func (m *smTyped) shouldGrantTyped(p int) bool {
+	if !m.out[p] {
+		return false // nothing to grant: the edge already points here
+	}
+	switch {
+	case m.outDeg() >= 2:
+		return true
+	case m.outDeg() == 1:
+		return m.rng.Intn(2) == 0
+	default:
+		return false
+	}
+}
+
+// pickTargetTyped chooses which neighbor a sink petitions: the one
+// advertising the largest out-degree (staleness tolerated), ties by
+// identifier, with a random tiebreak every few attempts to escape
+// symmetric stand-offs.
+func (m *smTyped) pickTargetTyped(recv []smMsg) int {
+	best, bestDeg := -1, -1
+	var bestID int64
+	for p := 0; p < m.info.Degree; p++ {
+		if recv[p].OutDeg > bestDeg || (recv[p].OutDeg == bestDeg && recv[p].ID < bestID) {
+			best, bestDeg, bestID = p, recv[p].OutDeg, recv[p].ID
+		}
+	}
+	if m.sinkFor > 4 || best < 0 {
+		return m.rng.Intn(m.info.Degree)
+	}
+	return best
+}
