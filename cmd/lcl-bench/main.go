@@ -19,6 +19,7 @@ import (
 	"locallab/internal/engine"
 	"locallab/internal/experiments"
 	"locallab/internal/scenario"
+	"locallab/internal/solver"
 )
 
 func main() {
@@ -52,8 +53,15 @@ func run(args []string) (err error) {
 	jsonOut := fs.String("json", "", "also write the experiment tables as a machine-readable report to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
+	listSolvers := fs.Bool("list-solvers", false, "list the unified solver registry (shared with lcl-run and lcl-scenario) and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listSolvers {
+		for _, e := range solver.Registry() {
+			fmt.Printf("%-16s %s\n", e.Name, e.Description)
+		}
+		return nil
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,12 +1,15 @@
 // Command lcl-run runs one problem/solver pair on a generated instance,
 // verifies the output, and reports the measured locality — the
-// everything-in-one-line entry point to the library.
+// everything-in-one-line entry point to the library. It fronts the
+// unified solver registry of internal/solver, the same registry the
+// scenario subsystem and the experiment harness consume, so every solver
+// name means the same thing in every tool.
 //
 // Usage:
 //
 //	lcl-run -problem sinkless-det -graph regular -n 1024 -seed 7
 //	lcl-run -problem sinkless-msg -n 4096 -workers 8 -shards 64
-//	lcl-run -problem pi2-rand -n 48
+//	lcl-run -problem pi2-rand -n 48 -workers 4
 //	lcl-run -list
 package main
 
@@ -16,73 +19,11 @@ import (
 	"os"
 	"sort"
 
-	"locallab/internal/coloring"
 	"locallab/internal/core"
 	"locallab/internal/engine"
 	"locallab/internal/graph"
-	"locallab/internal/lcl"
-	"locallab/internal/sinkless"
+	"locallab/internal/solver"
 )
-
-// job bundles a named problem with its solver, checker, and the graph
-// family it runs on.
-type job struct {
-	describe  string
-	defaults  string // default graph family
-	solver    lcl.Solver
-	problem   lcl.Problem
-	padded    bool // instance is a hierarchy level-2 padded graph
-	cycleOnly bool
-}
-
-func registry() map[string]job {
-	lvl2, err := core.NewLevel(2)
-	if err != nil {
-		panic(err) // static construction; cannot fail
-	}
-	return map[string]job{
-		"sinkless-det": {
-			describe: "sinkless orientation, deterministic cycle-potential solver (Θ(log n))",
-			defaults: "regular", solver: sinkless.NewDetSolver(), problem: sinkless.Problem{},
-		},
-		"sinkless-rand": {
-			describe: "sinkless orientation, randomized claims+repair solver (Θ(loglog n)-shaped)",
-			defaults: "regular", solver: sinkless.NewRandSolver(), problem: sinkless.Problem{},
-		},
-		"sinkless-msg": {
-			describe: "sinkless orientation via the message-passing protocol on the goroutine runtime",
-			defaults: "regular", solver: sinkless.NewMessageSolver(), problem: sinkless.Problem{},
-		},
-		"3coloring": {
-			describe: "3-coloring of cycles via Cole–Vishkin (Θ(log* n))",
-			defaults: "cycle", solver: coloring.NewCVSolver(), problem: coloring.Three{}, cycleOnly: true,
-		},
-		"mis": {
-			describe: "maximal independent set on cycles (Θ(log* n))",
-			defaults: "cycle", solver: coloring.NewMISSolver(), problem: coloring.MIS{}, cycleOnly: true,
-		},
-		"matching": {
-			describe: "maximal matching on cycles (Θ(log* n))",
-			defaults: "cycle", solver: coloring.NewMatchingSolver(), problem: coloring.MaximalMatching{}, cycleOnly: true,
-		},
-		"orientation": {
-			describe: "consistent cycle orientation (Θ(n), the global corner)",
-			defaults: "cycle", solver: coloring.GlobalOrientationSolver{}, problem: coloring.ConsistentOrientation{}, cycleOnly: true,
-		},
-		"trivial": {
-			describe: "the trivial problem (0 rounds)",
-			defaults: "regular", solver: coloring.TrivialSolver{}, problem: coloring.Trivial{},
-		},
-		"pi2-det": {
-			describe: "Π₂ = padded(sinkless), deterministic (Θ(log² n))",
-			defaults: "padded", solver: lvl2.Det, problem: lvl2.Problem, padded: true,
-		},
-		"pi2-rand": {
-			describe: "Π₂ = padded(sinkless), randomized (Θ(log n·loglog n))",
-			defaults: "padded", solver: lvl2.Rand, problem: lvl2.Problem, padded: true,
-		},
-	}
-}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -99,74 +40,58 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "instance and solver seed")
 	list := fs.Bool("list", false, "list problems and exit")
 	dump := fs.String("dump", "", "write the instance graph (text format) to this file")
-	workers := fs.Int("workers", 0, "engine worker goroutines for message-passing solvers (0 = GOMAXPROCS)")
-	shards := fs.Int("shards", 0, "engine node shards for message-passing solvers (0 = auto)")
+	workers := fs.Int("workers", 0, "engine worker goroutines for engine-backed solvers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "engine node shards for engine-backed solvers (0 = auto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	engine.SetDefaultOptions(engine.Options{Workers: *workers, Shards: *shards})
-	jobs := registry()
 	if *list {
-		names := make([]string, 0, len(jobs))
-		for name := range jobs {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Printf("%-14s %s\n", name, jobs[name].describe)
+		entries := solver.Registry()
+		sort.Slice(entries, func(a, b int) bool { return entries[a].Name < entries[b].Name })
+		for _, e := range entries {
+			name := e.Name
+			for _, a := range e.Aliases {
+				name += " (" + a + ")"
+			}
+			fmt.Printf("%-24s %s\n", name, e.Description)
 		}
 		return nil
 	}
-	j, ok := jobs[*probName]
+	entry, ok := solver.ByName(*probName)
 	if !ok {
 		return fmt.Errorf("unknown problem %q (use -list)", *probName)
 	}
 	if *family == "" {
-		*family = j.defaults
+		*family = entry.DefaultFamily
 	}
-	if j.cycleOnly && *family != "cycle" && *family != "cycle-advid" {
-		return fmt.Errorf("problem %q runs on cycles only", *probName)
-	}
-
-	var (
-		g   *graph.Graph
-		in  *lcl.Labeling
-		err error
-	)
-	if j.padded {
-		inst, berr := core.BuildInstance(2, core.InstanceOptions{BaseNodes: *n, Seed: *seed, Balanced: true})
-		if berr != nil {
-			return berr
-		}
-		g, in = inst.G, inst.In
-		fmt.Println(core.DescribeInstance(inst.Pads[0]))
-	} else {
-		g, err = buildGraph(*family, *n, *seed)
-		if err != nil {
-			return err
-		}
-		in = lcl.NewLabeling(g)
-		fmt.Printf("instance: %s, n=%d, m=%d, Δ=%d\n", *family, g.NumNodes(), g.NumEdges(), g.MaxDegree())
+	if err := entry.CheckFamily(*family); err != nil {
+		return err
 	}
 
-	out, cost, err := j.solver.Solve(g, in, *seed)
-	if err != nil {
-		return fmt.Errorf("solve: %w", err)
-	}
-	if j.padded {
-		prime, ok := j.problem.(*core.PiPrime)
-		if !ok {
-			return fmt.Errorf("padded job without PiPrime problem")
+	// Engine flags must reach an engine: silently ignoring them on
+	// solvers that never execute on the engine would misreport the run.
+	var eng *engine.Engine
+	if *workers != 0 || *shards != 0 {
+		if !entry.EngineAware {
+			return fmt.Errorf("problem %q does not execute on the engine; -workers/-shards cannot take effect", entry.Name)
 		}
-		err = core.VerifyPadded(g, prime, in, out)
-	} else {
-		err = lcl.Verify(g, j.problem, in, out)
+		eng = engine.New(engine.Options{Workers: *workers, Shards: *shards})
 	}
+
+	out, err := entry.Run(solver.Request{Family: *family, N: *n, Seed: *seed, Engine: eng})
 	if err != nil {
-		return fmt.Errorf("verify: %w", err)
+		return err
 	}
-	fmt.Printf("%s: %d rounds, output verified\n", j.solver.Name(), cost.Rounds())
-	hist := cost.Histogram()
+	if out.Instance != nil && len(out.Instance.Pads) > 0 {
+		fmt.Println(core.DescribeInstance(out.Instance.Pads[0]))
+	} else {
+		fmt.Printf("instance: %s, n=%d, m=%d, Δ=%d\n", *family, out.Nodes, out.Edges, out.G.MaxDegree())
+	}
+	fmt.Printf("%s: %d rounds, output verified\n", entry.Name, out.Rounds)
+	if entry.EngineAware {
+		fmt.Printf("engine: %d measured rounds, %d message deliveries\n", out.Stats.Rounds, out.Stats.Deliveries)
+	}
+	hist := out.Cost.Histogram()
 	radii := make([]int, 0, len(hist))
 	for r := range hist {
 		radii = append(radii, r)
@@ -184,16 +109,10 @@ func run(args []string) error {
 			return err
 		}
 		defer f.Close()
-		if err := graph.WriteText(f, g); err != nil {
+		if err := graph.WriteText(f, out.G); err != nil {
 			return err
 		}
 		fmt.Println("instance written to", *dump)
 	}
 	return nil
-}
-
-// buildGraph resolves the family through the registry shared with the
-// scenario subsystem (internal/graph.Families).
-func buildGraph(family string, n int, seed int64) (*graph.Graph, error) {
-	return graph.BuildFamily(family, n, seed)
 }

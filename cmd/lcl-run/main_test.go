@@ -16,11 +16,13 @@ func TestRunProblems(t *testing.T) {
 		{"-problem", "sinkless-det", "-n", "64"},
 		{"-problem", "sinkless-rand", "-n", "64"},
 		{"-problem", "sinkless-msg", "-n", "64"},
-		{"-problem", "3coloring", "-n", "50"},
+		{"-problem", "cole-vishkin", "-n", "50"},
+		{"-problem", "3coloring", "-n", "50"}, // alias of cole-vishkin
 		{"-problem", "mis", "-n", "50"},
 		{"-problem", "matching", "-n", "50"},
 		{"-problem", "orientation", "-n", "30"},
 		{"-problem", "trivial", "-n", "20"},
+		{"-problem", "netdecomp", "-graph", "tree", "-n", "63"},
 		{"-problem", "pi2-det", "-n", "12"},
 		{"-problem", "pi2-rand", "-n", "12"},
 		{"-problem", "sinkless-det", "-graph", "bitrev", "-n", "60"},
@@ -28,6 +30,9 @@ func TestRunProblems(t *testing.T) {
 		{"-problem", "sinkless-det", "-graph", "hypercube", "-n", "32"},
 		{"-problem", "sinkless-msg", "-n", "64", "-workers", "2", "-shards", "8"},
 		{"-problem", "3coloring", "-n", "50", "-workers", "1", "-shards", "1"},
+		// The padded pipeline honors engine flags end to end.
+		{"-problem", "pi2-det", "-n", "12", "-workers", "2", "-shards", "8"},
+		{"-problem", "pi2-rand", "-n", "12", "-workers", "4"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -45,6 +50,14 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-problem", "sinkless-det", "-graph", "nope"}); err == nil {
 		t.Error("unknown family accepted")
+	}
+	// Engine flags on solvers that never execute on the engine must fail
+	// loudly instead of being silently ignored.
+	if err := run([]string{"-problem", "sinkless-det", "-n", "64", "-workers", "2"}); err == nil {
+		t.Error("-workers on a non-engine solver accepted")
+	}
+	if err := run([]string{"-problem", "netdecomp", "-graph", "tree", "-n", "63", "-shards", "4"}); err == nil {
+		t.Error("-shards on a non-engine solver accepted")
 	}
 }
 

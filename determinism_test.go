@@ -218,6 +218,74 @@ func TestScenarioReportReplays(t *testing.T) {
 	}
 }
 
+// TestPaddedEngineScenarioReplays is the padded counterpart of the
+// scenario determinism suite: the padded-engine builtin — the whole
+// Lemma-4 pipeline as Ψ fixpoint machines plus dilated simulation
+// sessions on the sharded engine — must emit byte-identical canonical
+// JSON across 1/2/4 grid workers, and every cell must report the engine's
+// message deliveries.
+func TestPaddedEngineScenarioReplays(t *testing.T) {
+	spec, ok := scenario.Builtin("padded-engine")
+	if !ok {
+		t.Fatal("padded-engine builtin missing")
+	}
+	var first []byte
+	for _, workers := range []int{1, 2, 4} {
+		rep, err := scenario.Run(spec, scenario.RunOptions{GridWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, sr := range rep.Scenarios {
+			for _, c := range sr.Cells {
+				if c.Messages <= 0 {
+					t.Fatalf("workers=%d: padded cell %s n=%d seed=%d reports no engine deliveries",
+						workers, sr.Name, c.N, c.Seed)
+				}
+			}
+		}
+		data, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = data
+			continue
+		}
+		if string(data) != string(first) {
+			t.Fatalf("workers=%d: padded-engine report bytes changed", workers)
+		}
+	}
+}
+
+// TestEnginePaddedSolverReplays pins the engine-backed hierarchy solver
+// into the root determinism suite: byte-identical labelings to the
+// sequential Lemma-4 oracle on the same instance and seed.
+func TestEnginePaddedSolverReplays(t *testing.T) {
+	inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: 16, Seed: 5, Balanced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, err := core.NewLevel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := lvl.Det.Solve(inst.G, inst.In, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, _, err := lvl.EngineSolvers(engine.New(engine.Options{Workers: 4, Shards: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := det.Solve(inst.G, inst.In, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lcl.Equal(want, got) {
+		t.Fatal("engine-backed padded labeling differs from the sequential oracle")
+	}
+}
+
 func TestPaddedPipelineReplays(t *testing.T) {
 	inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: 16, Seed: 5, Balanced: true})
 	if err != nil {

@@ -1,38 +1,39 @@
 // Decomposer: build a deterministic (O(log n), O(log n)) network
 // decomposition — the object the paper's discussion section connects to
-// its open question — and inspect the cluster structure.
+// its open question — through the unified solver registry, and inspect
+// the cluster structure of the underlying decomposition.
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
-	"locallab/internal/graph"
 	"locallab/internal/measure"
-	"locallab/internal/netdecomp"
+	"locallab/internal/solver"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "decomposer:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(w io.Writer) error {
+	entry, ok := solver.ByName("netdecomp")
+	if !ok {
+		return fmt.Errorf("netdecomp missing from the solver registry")
+	}
 	var rows [][]string
 	for _, n := range []int{256, 1024, 4096} {
-		g, err := graph.NewRandomRegular(n, 3, int64(n), false)
+		// The registry entry builds, solves, and verifies the cell and
+		// hands back the verified decomposition for inspection.
+		o, err := entry.Run(solver.Request{Family: "regular", N: n, Seed: int64(n)})
 		if err != nil {
 			return err
 		}
-		dec, cost, err := netdecomp.Build(g, netdecomp.Options{})
-		if err != nil {
-			return err
-		}
-		if err := netdecomp.Verify(g, dec); err != nil {
-			return fmt.Errorf("n=%d: %w", n, err)
-		}
+		dec := o.Decomposition
 		clusters := make(map[int]int)
 		largest := 0
 		for _, c := range dec.Cluster {
@@ -43,12 +44,12 @@ func run() error {
 		}
 		rows = append(rows, []string{
 			fmt.Sprint(n), fmt.Sprint(len(clusters)), fmt.Sprint(largest),
-			fmt.Sprint(dec.Colors), fmt.Sprint(dec.Radius), fmt.Sprint(cost.Rounds()),
+			fmt.Sprint(dec.Colors), fmt.Sprint(dec.Radius), fmt.Sprint(o.Rounds),
 		})
 	}
-	fmt.Println(measure.Table(
+	fmt.Fprintln(w, measure.Table(
 		[]string{"n", "clusters", "largest cluster", "colors", "radius", "rounds"}, rows))
-	fmt.Println("colors and radius stay O(log n): the ND(n) term in the paper's")
-	fmt.Println("discussion-section derandomization bound D = O(R·ND + R·log² n).")
+	fmt.Fprintln(w, "colors and radius stay O(log n): the ND(n) term in the paper's")
+	fmt.Fprintln(w, "discussion-section derandomization bound D = O(R·ND + R·log² n).")
 	return nil
 }

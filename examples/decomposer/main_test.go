@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden output")
+
+// TestDecomposerGolden is the example's smoke test: the registry-backed
+// network-decomposition sweep completes and prints byte-identical output
+// across runs (the decomposition is deterministic per instance seed).
+func TestDecomposerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "output.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./examples/decomposer -update)", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("output differs from golden %s.\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden output")
+
+// TestPaddedTowerGolden is the example's smoke test: the full registry-
+// backed Π₂/Π₃ run completes, and its output — instance shape, cost
+// decomposition, measured engine rounds and deliveries — is byte-
+// identical to the checked-in golden (everything printed is
+// deterministic, including the engine stats).
+func TestPaddedTowerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "output.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./examples/paddedtower -update)", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("output differs from golden %s.\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+
+	"locallab/internal/engine"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+	"locallab/internal/sinkless"
+)
+
+// paddedEngineGrid is the worker/shard geometry grid the engine-padded
+// differential tests sweep.
+var paddedEngineGrid = []engine.Options{
+	{Sequential: true},
+	{Workers: 1, Shards: 1},
+	{Workers: 2, Shards: 5},
+	{Workers: 4, Shards: 16},
+}
+
+// TestEnginePaddedMatchesOracle is the acceptance property of the engine
+// rewrite: on balanced Π₂ instances the engine-backed solver must produce
+// byte-identical labelings and identical analytical costs to the
+// sequential PaddedSolver oracle, for both the deterministic and the
+// randomized inner solver, across sizes × seeds × engine geometries —
+// and its measured engine rounds must stay within the analytical bound.
+func TestEnginePaddedMatchesOracle(t *testing.T) {
+	sizes := []int{8, 12, 16}
+	seeds := []int64{1, 2, 3}
+	inners := []struct {
+		name string
+		mk   func() lcl.Solver
+	}{
+		{"det", func() lcl.Solver { return sinkless.NewDetSolver() }},
+		{"rand", func() lcl.Solver { return sinkless.NewRandSolver() }},
+	}
+	for _, inner := range inners {
+		for _, base := range sizes {
+			for _, seed := range seeds {
+				inst, err := BuildInstance(2, InstanceOptions{BaseNodes: base, Seed: seed, Balanced: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle := NewPaddedSolver(inner.mk(), 3)
+				want, wantCost, err := oracle.Solve(inst.G, inst.In, seed)
+				if err != nil {
+					t.Fatalf("%s base=%d seed=%d: oracle: %v", inner.name, base, seed, err)
+				}
+				for _, opts := range paddedEngineGrid {
+					s := NewEnginePaddedSolver(inner.mk(), 3, engine.New(opts))
+					got, cost, err := s.Solve(inst.G, inst.In, seed)
+					if err != nil {
+						t.Fatalf("%s base=%d seed=%d %+v: %v", inner.name, base, seed, opts, err)
+					}
+					if !lcl.Equal(want, got) {
+						t.Fatalf("%s base=%d seed=%d %+v: engine labeling differs from oracle", inner.name, base, seed, opts)
+					}
+					if cost.Rounds() != wantCost.Rounds() {
+						t.Fatalf("%s base=%d seed=%d %+v: cost %d, want %d", inner.name, base, seed, opts, cost.Rounds(), wantCost.Rounds())
+					}
+					if got := s.LastStats.Rounds(); got > cost.Rounds() {
+						t.Fatalf("%s base=%d seed=%d %+v: measured %d engine rounds exceed analytical bound %d",
+							inner.name, base, seed, opts, got, cost.Rounds())
+					}
+					if s.LastStats.Deliveries() <= 0 {
+						t.Fatalf("%s base=%d seed=%d %+v: engine solve delivered no messages", inner.name, base, seed, opts)
+					}
+					if s.LastStats.Sim.Rounds == 0 {
+						t.Fatalf("%s base=%d seed=%d %+v: simulation session did not run", inner.name, base, seed, opts)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnginePaddedMatchesOracleCorrupted covers invalid gadgets: the
+// error-proof pointers, port invalidation, and the shrunken virtual graph
+// must come out byte-identical on both paths.
+func TestEnginePaddedMatchesOracleCorrupted(t *testing.T) {
+	base := buildBase(t, 16, 4)
+	// Retry corruption patterns until the shrunken instance stays
+	// solvable (removing gadgets can orphan tree remnants where sinkless
+	// orientation is genuinely unsolvable), mirroring the Fig-4 harness.
+	var pi *PaddedInstance
+	var want *lcl.Labeling
+	for attempt := 0; ; attempt++ {
+		if attempt > 40 {
+			t.Fatal("no solvable corruption pattern found")
+		}
+		corrupt := []graph.NodeID{graph.NodeID(attempt % base.NumNodes()), graph.NodeID((attempt + 7) % base.NumNodes())}
+		p, err := BuildPadded(base, lcl.NewLabeling(base), PadOptions{
+			Delta: 3, GadgetHeight: 3, CorruptGadgets: corrupt, Seed: int64(attempt),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := NewPaddedSolver(sinkless.NewDetSolver(), 3)
+		out, _, err := oracle.Solve(p.G, p.In, 1)
+		if err == nil {
+			pi, want = p, out
+			break
+		}
+	}
+	for _, opts := range paddedEngineGrid {
+		s := NewEnginePaddedSolver(sinkless.NewDetSolver(), 3, engine.New(opts))
+		d, err := s.SolveDetailed(pi.G, pi.In, 1)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !lcl.Equal(want, d.Out) {
+			t.Fatalf("%+v: corrupted-instance labeling differs from oracle", opts)
+		}
+		if d.Invalid == 0 {
+			t.Fatalf("%+v: corruption produced no invalid gadget", opts)
+		}
+		if err := VerifyPadded(pi.G, NewPiPrime(sinkless.Problem{}, 3), pi.In, d.Out); err != nil {
+			t.Fatalf("%+v: engine output rejected: %v", opts, err)
+		}
+	}
+}
+
+// TestSimulationMaskSandwich pins the information-flow semantics of the
+// simulation machines: after (T+1)·(d+1) physical rounds, every node of a
+// valid gadget has collected at least the virtual ball of radius
+// ⌊(T+1)/2⌋ (information demonstrably crossed that many port hops and
+// fully flooded the gadgets) and at most the ball of radius T+1 (one
+// virtual hop per super-round is a hard ceiling).
+func TestSimulationMaskSandwich(t *testing.T) {
+	inst, err := BuildInstance(2, InstanceOptions{BaseNodes: 12, Seed: 3, Balanced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewEnginePaddedSolver(sinkless.NewDetSolver(), 3, engine.New(engine.Options{Workers: 2, Shards: 8}))
+	d, err := s.SolveDetailed(inst.G, inst.In, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg := d.Virtual
+	innerRounds := d.InnerCost.Rounds()
+	scope := GadScope(inst.G, inst.In)
+	sim, err := RunSimulation(engine.New(engine.Options{Workers: 2, Shards: 8}), inst.G, scope, vg, innerRounds, d.Dilation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (innerRounds + 1) * (d.Dilation + 1); sim.Stats.Rounds != want {
+		t.Fatalf("simulation ran %d rounds, want (T+1)(d+1) = %d", sim.Stats.Rounds, want)
+	}
+
+	// Virtual BFS balls as signature masks.
+	ballMask := func(vi graph.NodeID, radius int) uint64 {
+		mask := VirtSignature(vg, vi)
+		dist := map[graph.NodeID]int{vi: 0}
+		queue := []graph.NodeID{vi}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if dist[x] == radius {
+				continue
+			}
+			for _, h := range vg.H.Halves(x) {
+				y := vg.H.Edge(h.Edge).Other(h.Side).Node
+				if _, ok := dist[y]; !ok {
+					dist[y] = dist[x] + 1
+					mask |= VirtSignature(vg, y)
+					queue = append(queue, y)
+				}
+			}
+		}
+		return mask
+	}
+	lower := (innerRounds + 1) / 2
+	checked := 0
+	for v := graph.NodeID(0); int(v) < inst.G.NumNodes(); v++ {
+		ci := vg.CompOf[v]
+		if ci < 0 || !vg.Valid[ci] {
+			if sim.Masks[v] != 0 {
+				t.Fatalf("node %d outside valid gadgets holds mask %x", v, sim.Masks[v])
+			}
+			continue
+		}
+		vi := vg.VirtOf[ci]
+		lo, hi := ballMask(vi, lower), ballMask(vi, innerRounds+1)
+		m := sim.Masks[v]
+		if m&lo != lo {
+			t.Fatalf("node %d (virt %d): mask %x misses ball(%d) %x", v, vi, m, lower, lo)
+		}
+		if m&^hi != 0 {
+			t.Fatalf("node %d (virt %d): mask %x exceeds ball(%d) %x", v, vi, m, innerRounds+1, hi)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no valid-gadget nodes checked")
+	}
+}
+
+// TestSimulationDeterministicAcrossGeometries: the final masks and stats
+// are identical for every worker/shard setting.
+func TestSimulationDeterministicAcrossGeometries(t *testing.T) {
+	inst, err := BuildInstance(2, InstanceOptions{BaseNodes: 8, Seed: 1, Balanced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewEnginePaddedSolver(sinkless.NewDetSolver(), 3, engine.New(engine.Options{Sequential: true}))
+	d, err := s.SolveDetailed(inst.G, inst.In, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := GadScope(inst.G, inst.In)
+	var first *SimResult
+	for _, opts := range paddedEngineGrid {
+		sim, err := RunSimulation(engine.New(opts), inst.G, scope, d.Virtual, d.InnerCost.Rounds(), d.Dilation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = sim
+			continue
+		}
+		if sim.Stats.Rounds != first.Stats.Rounds || sim.Stats.Deliveries != first.Stats.Deliveries {
+			t.Fatalf("%+v: stats %+v differ from %+v", opts, sim.Stats, first.Stats)
+		}
+		for v := range sim.Masks {
+			if sim.Masks[v] != first.Masks[v] {
+				t.Fatalf("%+v: mask of node %d differs across geometries", opts, v)
+			}
+		}
+	}
+}
+
+// TestLevelEngineSolvers: level 1 has no padding layer to run on the
+// engine; level 2 engine solvers solve and verify end to end.
+func TestLevelEngineSolvers(t *testing.T) {
+	lvl1, err := NewLevel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lvl1.EngineSolvers(nil); err == nil {
+		t.Fatal("level-1 engine solvers accepted")
+	}
+	lvl2, err := NewLevel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, rnd, err := lvl2.EngineSolvers(engine.New(engine.Options{Workers: 2, Shards: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := BuildInstance(2, InstanceOptions{BaseNodes: 12, Seed: 2, Balanced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*EnginePaddedSolver{det, rnd} {
+		out, _, err := s.Solve(inst.G, inst.In, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := lvl2.Verify(inst.G, inst.In, out); err != nil {
+			t.Fatalf("%s: verification failed: %v", s.Name(), err)
+		}
+	}
+}

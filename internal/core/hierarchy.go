@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"locallab/internal/engine"
 	"locallab/internal/graph"
 	"locallab/internal/lcl"
 	"locallab/internal/sinkless"
@@ -58,6 +59,25 @@ func NewLevel(i int) (*Level, error) {
 		Det:     NewPaddedSolver(inner.Det, delta),
 		Rand:    NewPaddedSolver(inner.Rand, delta),
 	}, nil
+}
+
+// EngineSolvers returns engine-backed counterparts of the level's Det and
+// Rand solvers: the same Lemma-4 pipeline, executed as message-passing
+// machines on the sharded engine (nil eng uses the engine defaults). Only
+// padded levels (i >= 2) run on the engine; level 1 is the sinkless base
+// problem whose message solver lives in internal/sinkless. For levels
+// above 2 the top padding layer executes on the engine while the inner
+// padded levels run through the sequential recursion (see ROADMAP).
+func (l *Level) EngineSolvers(eng *engine.Engine) (det, rnd *EnginePaddedSolver, err error) {
+	ps, ok := l.Det.(*PaddedSolver)
+	if !ok {
+		return nil, nil, fmt.Errorf("level %d has no padded solver to run on the engine", l.Index)
+	}
+	pr, ok := l.Rand.(*PaddedSolver)
+	if !ok {
+		return nil, nil, fmt.Errorf("level %d has no padded solver to run on the engine", l.Index)
+	}
+	return NewEnginePaddedSolver(ps.Inner, ps.Delta, eng), NewEnginePaddedSolver(pr.Inner, pr.Delta, eng), nil
 }
 
 // Verify validates an output of this level's problem, using the global

@@ -19,6 +19,12 @@ import (
 // verifier radius O(log n); nodes of valid gadgets additionally pay one
 // gadget-dilation unit per simulated inner round (gathering radius
 // T·d(n)), which yields the O(T(Π,n)·d(n)) total of Theorem 1.
+//
+// PaddedSolver runs the whole pipeline as centralized gather-style code;
+// it is the sequential oracle the engine-backed EnginePaddedSolver is
+// differential-tested against. The pipeline stages (port validity, Σlist
+// assembly, cost charging) are shared package-level functions, so the two
+// solvers cannot drift apart structurally.
 type PaddedSolver struct {
 	Delta int
 	Inner lcl.Solver
@@ -48,6 +54,10 @@ type Detail struct {
 	Dilation  int
 	Valid     int
 	Invalid   int
+	// Engine carries the measured engine profile when the solve executed
+	// on the message-passing engine (EnginePaddedSolver); nil for the
+	// sequential oracle.
+	Engine *EngineRunStats
 }
 
 // Solve implements lcl.Solver.
@@ -73,7 +83,8 @@ func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int6
 	n := g.NumNodes()
 	cost := local.NewCost(n)
 
-	// Step 1: the verifier V solves ΨG on every gadget (Definition 2).
+	// Step 1: the verifier V solves ΨG on every gadget (Definition 2),
+	// run centrally with faithful round accounting.
 	vf := &errorproof.Verifier{Delta: s.Delta, Scope: scope}
 	psiOut, psiCost, err := vf.Run(g, gadIn, n)
 	if err != nil {
@@ -81,15 +92,34 @@ func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int6
 	}
 	cost.Merge(psiCost)
 
+	// Steps 2-5 are shared with the engine-backed solver.
+	d, err := finishPadded(g, gadIn, piIn, scope, psiOut, s.Inner, s.Delta, seed, psiCost, cost)
+	if err != nil {
+		return nil, err
+	}
+	d.PsiRadius = vf.Radius(n)
+	return d, nil
+}
+
+// finishPadded runs steps 2-5 of the Lemma-4 pipeline from the Ψ outputs
+// onward: port validity, virtual contraction, inner simulation, and Σlist
+// expansion. Both the sequential oracle and the engine-backed solver call
+// it, which is what keeps their labelings byte-identical by construction.
+func finishPadded(g *graph.Graph, gadIn, piIn *lcl.Labeling, scope func(graph.EdgeID) bool,
+	psiOut *lcl.Labeling, inner lcl.Solver, delta int, seed int64,
+	psiCost *local.Cost, cost *local.Cost) (*Detail, error) {
+
+	n := g.NumNodes()
+
 	// Step 2: port-validity labels (constraints 3 and 4).
 	portErr := make([]lcl.Label, n)
-	compValid, compOf := s.componentValidity(g, scope, psiOut)
+	compValid, compOf := scopedValidity(g, scope, psiOut.Node)
 	for v := graph.NodeID(0); int(v) < n; v++ {
-		portErr[v] = s.portMark(g, gadIn, scope, psiOut, compValid, compOf, v)
+		portErr[v] = portValidity(g, gadIn, scope, compValid, compOf, v)
 	}
 
 	// Step 3: contract valid gadgets into the virtual graph.
-	vg, err := BuildVirtual(g, gadIn, piIn, scope, psiOut.Node, portErr, s.Delta)
+	vg, err := BuildVirtual(g, gadIn, piIn, scope, psiOut.Node, portErr, delta)
 	if err != nil {
 		return nil, fmt.Errorf("padded solve: %w", err)
 	}
@@ -98,7 +128,7 @@ func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int6
 	var virtOut *lcl.Labeling
 	innerCost := local.NewCost(vg.NumVirtualNodes())
 	if vg.NumVirtualNodes() > 0 {
-		virtOut, innerCost, err = s.Inner.Solve(vg.H, vg.In, seed)
+		virtOut, innerCost, err = inner.Solve(vg.H, vg.In, seed)
 		if err != nil {
 			return nil, fmt.Errorf("padded solve inner: %w", err)
 		}
@@ -107,18 +137,10 @@ func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int6
 	// Step 5: expand the virtual solution into Σlist labels and charge
 	// the simulation cost: each inner round crosses one gadget, so a
 	// node in a valid gadget pays (innerRounds+1)·(dilation+1) extra.
-	dilation := s.maxGadgetEccentricity(g, scope, vg)
-	out := lcl.NewLabeling(g)
-	sigmaOf := make([]lcl.Label, len(vg.Comps))
-	for ci := range vg.Comps {
-		if !vg.Valid[ci] || vg.VirtOf[ci] < 0 {
-			continue
-		}
-		sl, err := s.sigmaFor(g, piIn, scope, portErr, vg, ci, virtOut)
-		if err != nil {
-			return nil, fmt.Errorf("padded solve: %w", err)
-		}
-		sigmaOf[ci] = sl.Encode()
+	dilation := maxGadgetEccentricity(g, scope, vg)
+	out, err := expandVirtual(g, piIn, scope, portErr, psiOut.Node, vg, virtOut, delta)
+	if err != nil {
+		return nil, err
 	}
 	valid, invalid := 0, 0
 	for ci := range vg.Comps {
@@ -130,20 +152,10 @@ func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int6
 	}
 	for v := graph.NodeID(0); int(v) < n; v++ {
 		ci := compOf[v]
-		sigma := lcl.Label("")
 		if ci >= 0 && vg.Valid[ci] {
-			sigma = sigmaOf[ci]
 			virt := vg.VirtOf[ci]
 			innerRounds := innerCost.Radius(virt)
 			cost.Charge(v, psiCost.Radius(v)+(innerRounds+1)*(dilation+1))
-		}
-		out.Node[v] = Compose(sigma, portErr[v], psiOut.Node[v])
-	}
-	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
-		if scope(e) {
-			out.Edge[e] = LabPsiEdge
-			out.SetHalf(graph.Half{Edge: e, Side: graph.SideU}, LabPsiEdge)
-			out.SetHalf(graph.Half{Edge: e, Side: graph.SideV}, LabPsiEdge)
 		}
 	}
 	return &Detail{
@@ -152,16 +164,53 @@ func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int6
 		Virtual:   vg,
 		VirtOut:   virtOut,
 		InnerCost: innerCost,
-		PsiRadius: vf.Radius(n),
 		Dilation:  dilation,
 		Valid:     valid,
 		Invalid:   invalid,
 	}, nil
 }
 
-// componentValidity computes GadEdge components and whether each is a
-// valid gadget (all Ψ outputs GadOk).
-func (s *PaddedSolver) componentValidity(g *graph.Graph, scope func(graph.EdgeID) bool, psiOut *lcl.Labeling) ([]bool, []int) {
+// expandVirtual assembles the composite Π′ output labeling from the
+// virtual solution: every node of a valid gadget carries its gadget's
+// Σlist, every node its port-validity and Ψ labels, and gadget elements
+// the ψ placeholder.
+func expandVirtual(g *graph.Graph, piIn *lcl.Labeling, scope func(graph.EdgeID) bool,
+	portErr []lcl.Label, psiNode []lcl.Label, vg *VirtualGraph, virtOut *lcl.Labeling, delta int) (*lcl.Labeling, error) {
+
+	out := lcl.NewLabeling(g)
+	sigmaOf := make([]lcl.Label, len(vg.Comps))
+	for ci := range vg.Comps {
+		if !vg.Valid[ci] || vg.VirtOf[ci] < 0 {
+			continue
+		}
+		sl, err := sigmaFor(g, piIn, scope, portErr, vg, ci, virtOut, delta)
+		if err != nil {
+			return nil, fmt.Errorf("padded solve: %w", err)
+		}
+		sigmaOf[ci] = sl.Encode()
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		ci := vg.CompOf[v]
+		sigma := lcl.Label("")
+		if ci >= 0 && vg.Valid[ci] {
+			sigma = sigmaOf[ci]
+		}
+		out.Node[v] = Compose(sigma, portErr[v], psiNode[v])
+	}
+	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
+		if scope(e) {
+			out.Edge[e] = LabPsiEdge
+			out.SetHalf(graph.Half{Edge: e, Side: graph.SideU}, LabPsiEdge)
+			out.SetHalf(graph.Half{Edge: e, Side: graph.SideV}, LabPsiEdge)
+		}
+	}
+	return out, nil
+}
+
+// scopedValidity computes the scoped (GadEdge) components and whether each
+// is a valid gadget (all Ψ outputs GadOk). It is shared by the sequential
+// and the engine-backed pipeline so both agree on component indexing.
+func scopedValidity(g *graph.Graph, scope func(graph.EdgeID) bool, psi []lcl.Label) ([]bool, []int) {
 	n := g.NumNodes()
 	compOf := make([]int, n)
 	for i := range compOf {
@@ -179,7 +228,7 @@ func (s *PaddedSolver) componentValidity(g *graph.Graph, scope func(graph.EdgeID
 		for len(queue) > 0 {
 			x := queue[0]
 			queue = queue[1:]
-			if psiOut.Node[x] != errorproof.LabGadOk {
+			if psi[x] != errorproof.LabGadOk {
 				ok = false
 			}
 			for _, h := range g.Halves(x) {
@@ -198,10 +247,12 @@ func (s *PaddedSolver) componentValidity(g *graph.Graph, scope func(graph.EdgeID
 	return valid, compOf
 }
 
-// portMark assigns the {PortErr1, PortErr2, NoPortErr} label of one node
-// per the Lemma-4 algorithm.
-func (s *PaddedSolver) portMark(g *graph.Graph, gadIn *lcl.Labeling, scope func(graph.EdgeID) bool,
-	psiOut *lcl.Labeling, compValid []bool, compOf []int, v graph.NodeID) lcl.Label {
+// portValidity assigns the {PortErr1, PortErr2, NoPortErr} label of one
+// node per the Lemma-4 algorithm. The decision is constant-radius: the
+// node's own port structure, its partner across the unique port edge, and
+// the component validity of both (which every node knows after Ψ).
+func portValidity(g *graph.Graph, gadIn *lcl.Labeling, scope func(graph.EdgeID) bool,
+	compValid []bool, compOf []int, v graph.NodeID) lcl.Label {
 
 	gd, err := gadget.ParseNodeInput(gadIn.Node[v])
 	if err != nil || gd.Port == 0 {
@@ -239,10 +290,10 @@ func (s *PaddedSolver) portMark(g *graph.Graph, gadIn *lcl.Labeling, scope func(
 }
 
 // sigmaFor builds the Σlist of a valid gadget from the virtual solution.
-func (s *PaddedSolver) sigmaFor(g *graph.Graph, piIn *lcl.Labeling, scope func(graph.EdgeID) bool,
-	portErr []lcl.Label, vg *VirtualGraph, ci int, virtOut *lcl.Labeling) (*SigmaList, error) {
+func sigmaFor(g *graph.Graph, piIn *lcl.Labeling, scope func(graph.EdgeID) bool,
+	portErr []lcl.Label, vg *VirtualGraph, ci int, virtOut *lcl.Labeling, delta int) (*SigmaList, error) {
 
-	sl := NewSigmaList(s.Delta)
+	sl := NewSigmaList(delta)
 	virt := vg.VirtOf[ci]
 	p1 := vg.PortNode[ci][0]
 	if p1 < 0 {
@@ -252,7 +303,7 @@ func (s *PaddedSolver) sigmaFor(g *graph.Graph, piIn *lcl.Labeling, scope func(g
 	if virtOut != nil {
 		sl.OV = string(virtOut.Node[virt])
 	}
-	for i := 1; i <= s.Delta; i++ {
+	for i := 1; i <= delta; i++ {
 		pn := vg.PortNode[ci][i-1]
 		if pn < 0 || portErr[pn] != NoPortErr {
 			continue
@@ -282,7 +333,7 @@ func (s *PaddedSolver) sigmaFor(g *graph.Graph, piIn *lcl.Labeling, scope func(g
 
 // maxGadgetEccentricity measures the dilation d: the largest eccentricity
 // (within the gadget subgraph) over valid gadgets.
-func (s *PaddedSolver) maxGadgetEccentricity(g *graph.Graph, scope func(graph.EdgeID) bool, vg *VirtualGraph) int {
+func maxGadgetEccentricity(g *graph.Graph, scope func(graph.EdgeID) bool, vg *VirtualGraph) int {
 	maxEcc := 0
 	for ci, nodes := range vg.Comps {
 		if !vg.Valid[ci] {

@@ -36,6 +36,9 @@ func Builtins() []*Spec {
 					Sizes: []int{63}, Seeds: []int64{1}},
 				{Name: "netdecomp-torus", Family: "torus", Solver: "netdecomp",
 					Sizes: []int{49}, Seeds: []int64{1}},
+				{Name: "padded-engine", Family: PaddedFamily, Solver: "pi2-det",
+					Sizes: []int{12}, Seeds: []int64{1},
+					Engine: EngineParams{Workers: 2, Shards: 8}},
 			},
 		},
 		{
@@ -104,6 +107,24 @@ func Builtins() []*Spec {
 					Sizes: quick.PaddedBases, Seeds: []int64{1, 2}},
 				{Name: "pi2-rand", Family: PaddedFamily, Solver: "pi2-rand",
 					Sizes: quick.PaddedBases, Seeds: []int64{1, 2}},
+			},
+		},
+		{
+			// padded-engine exercises the engine-backed Lemma-4 pipeline
+			// with explicit engine parameters: the whole padded workload —
+			// Ψ fixpoint machines plus the dilated simulation sessions —
+			// runs on the sharded worker pool, and the report records the
+			// measured message deliveries. Outputs are byte-identical for
+			// every workers/shards setting (the root determinism test and
+			// the CI bench-smoke job cross-check this).
+			Name: "padded-engine",
+			Scenarios: []Scenario{
+				{Name: "pi2-det-sharded", Family: PaddedFamily, Solver: "pi2-det",
+					Sizes: quick.PaddedBases, Seeds: []int64{1, 2},
+					Engine: EngineParams{Workers: 2, Shards: 16}},
+				{Name: "pi2-rand-sharded", Family: PaddedFamily, Solver: "pi2-rand",
+					Sizes: quick.PaddedBases, Seeds: []int64{1, 2},
+					Engine: EngineParams{Workers: 2, Shards: 16}},
 			},
 		},
 		{

@@ -32,9 +32,10 @@ type CellResult struct {
 	// Checksum is the FNV-1a 64 fingerprint of the verified output
 	// labeling, in %016x form.
 	Checksum string `json:"checksum"`
-	// WallNanos is the cell's wall-clock solve time. It is recorded only
-	// in timing mode (-timing): it varies run to run, so including it
-	// forfeits byte-identical reports.
+	// WallNanos is the cell's wall-clock time covering instance
+	// construction, solve, and verification (the registry entry owns all
+	// three). It is recorded only in timing mode (-timing): it varies run
+	// to run, so including it forfeits byte-identical reports.
 	WallNanos int64 `json:"wall_nanos,omitempty"`
 }
 

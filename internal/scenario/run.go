@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"locallab/internal/engine"
-	"locallab/internal/graph"
 	"locallab/internal/measure"
+	"locallab/internal/solver"
 )
 
 // RunOptions tunes scheduling and reporting; none of it changes the
@@ -19,7 +19,9 @@ type RunOptions struct {
 	// layers do not multiply into oversubscription by default.
 	GridWorkers int
 	// ShardOverride overrides every scenario's engine shard count
-	// (0 keeps spec values). Outputs are identical either way.
+	// (0 keeps spec values). Outputs are identical either way. Overriding
+	// a spec with no engine-aware scenario is an error: the flag could
+	// not take effect anywhere.
 	ShardOverride int
 	// Timing records per-cell wall-clock time in the report. Timing
 	// fields vary run to run, so reports stop being byte-identical.
@@ -34,6 +36,18 @@ type RunOptions struct {
 func Run(spec *Spec, opts RunOptions) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.ShardOverride > 0 {
+		anyEngine := false
+		for i := range spec.Scenarios {
+			if sol, ok := SolverByName(spec.Scenarios[i].Solver); ok && sol.EngineAware {
+				anyEngine = true
+				break
+			}
+		}
+		if !anyEngine {
+			return nil, fmt.Errorf("shard override set but no scenario in %q runs on the engine", spec.Name)
+		}
 	}
 	rep := &Report{Schema: SchemaVersion, Tool: "lcl-scenario", Name: spec.Name}
 	for i := range spec.Scenarios {
@@ -55,9 +69,10 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	if opts.ShardOverride > 0 && sol.EngineAware {
 		engineParams.Shards = opts.ShardOverride
 	}
-	// Engine-aware solvers get an explicit engine so scenario runs never
-	// depend on the mutable package-level engine defaults. Workers
-	// default to 1 inside a cell: the grid is the parallel layer.
+	// Engine-aware solvers — including the padded hierarchy entries — get
+	// an explicit engine so scenario runs never depend on the mutable
+	// package-level engine defaults. Workers default to 1 inside a cell:
+	// the grid is the parallel layer.
 	var eng *engine.Engine
 	if sol.EngineAware {
 		w := engineParams.Workers
@@ -78,28 +93,34 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 			grid = append(grid, cs)
 		}
 	}
-	outcomes := make([]outcome, len(grid))
+	// Only the scalar report fields are kept per cell: retaining the full
+	// solver.Outcome (graph + labelings + padded diagnostics) across the
+	// grid would hold every instance live until report assembly.
+	type cellScalars struct {
+		nodes, edges, rounds int
+		messages             int64
+		checksum             uint64
+	}
+	outcomes := make([]cellScalars, len(grid))
 	wall := make([]int64, len(grid))
 	_, err := measure.ParallelCells(sc.Name, grid, opts.GridWorkers, func(c measure.CellSpec) (int, error) {
-		var (
-			g   *graph.Graph
-			err error
-		)
-		if sc.Family != PaddedFamily {
-			g, err = graph.BuildFamily(sc.Family, c.N, c.Seed)
-			if err != nil {
-				return 0, err
-			}
-		}
+		// wall_nanos covers the whole cell — instance construction, solve,
+		// and verification — since the registry entry owns all three.
 		start := time.Now()
-		o, err := sol.run(g, c.N, c.Seed, eng)
+		o, err := sol.Run(solver.Request{Family: sc.Family, N: c.N, Seed: c.Seed, Engine: eng})
 		if err != nil {
 			return 0, err
 		}
 		i := index[c]
-		outcomes[i] = o
+		outcomes[i] = cellScalars{
+			nodes:    o.Nodes,
+			edges:    o.Edges,
+			rounds:   o.Rounds,
+			messages: o.Stats.Deliveries,
+			checksum: o.Checksum,
+		}
 		wall[i] = time.Since(start).Nanoseconds()
-		return o.rounds, nil
+		return o.Rounds, nil
 	})
 	if err != nil {
 		return nil, err

@@ -90,6 +90,25 @@ func TestRunShardOverrideKeepsBytes(t *testing.T) {
 	}
 }
 
+// TestRunShardOverrideErrorsWithoutEngine: a shard override that cannot
+// take effect anywhere must fail loudly instead of being silently
+// ignored.
+func TestRunShardOverrideErrorsWithoutEngine(t *testing.T) {
+	spec := &Spec{Name: "no-engine", Scenarios: []Scenario{{
+		Name: "nd", Family: "tree", Solver: "netdecomp", Sizes: []int{31}, Seeds: []int64{1},
+	}}}
+	if _, err := Run(spec, RunOptions{ShardOverride: 8}); err == nil {
+		t.Fatal("shard override without an engine-aware scenario accepted")
+	}
+	// With an engine-aware scenario present the override applies.
+	spec.Scenarios = append(spec.Scenarios, Scenario{
+		Name: "padded", Family: PaddedFamily, Solver: "pi2-det", Sizes: []int{12}, Seeds: []int64{1},
+	})
+	if _, err := Run(spec, RunOptions{ShardOverride: 8}); err != nil {
+		t.Fatalf("shard override with an engine-aware scenario failed: %v", err)
+	}
+}
+
 // TestRunTimingMode: timing adds wall_nanos and is excluded by default.
 func TestRunTimingMode(t *testing.T) {
 	spec := &Spec{Name: "t", Scenarios: []Scenario{{

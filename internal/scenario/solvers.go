@@ -1,265 +1,24 @@
 package scenario
 
 import (
-	"encoding/binary"
-	"fmt"
-	"hash/fnv"
-
-	"locallab/internal/coloring"
-	"locallab/internal/core"
-	"locallab/internal/engine"
-	"locallab/internal/graph"
-	"locallab/internal/lcl"
-	"locallab/internal/netdecomp"
-	"locallab/internal/sinkless"
+	"locallab/internal/solver"
 )
 
-// outcome is the per-cell measurement the runner records: everything in
-// it is deterministic for a given (family, solver, n, seed), which is
-// what makes reports byte-diffable.
-type outcome struct {
-	nodes    int
-	edges    int
-	rounds   int
-	messages int64 // engine deliveries; 0 for non-message solvers
-	checksum uint64
-}
+// Solver is one registry entry; the registry itself lives in
+// internal/solver and is shared with cmd/lcl-run and the experiment
+// harness — the scenario subsystem consumes it like every other caller
+// instead of keeping a parallel solver world. Padded entries execute on
+// the sharded engine exactly like the message-passing entries, so the
+// former Padded-vs-EngineAware special-casing is gone: every cell flows
+// through measure.ParallelCells and engine-aware cells report real
+// engine.Stats delivery counts.
+type Solver = solver.Entry
 
-// Solver is one registry entry: a named workload runner plus the
-// constraints the spec validator enforces.
-type Solver struct {
-	// Name is the registry key used by scenario specs.
-	Name string
-	// Description is a one-line summary for listings.
-	Description string
-	// CycleOnly restricts the solver to the cycle families.
-	CycleOnly bool
-	// Padded marks solvers running on level-2 padded instances; their
-	// scenarios use the "padded" pseudo-family and sizes are base-graph
-	// node counts.
-	Padded bool
-	// EngineAware marks solvers that execute on the sharded engine (the
-	// typed zero-allocation core since the Core[M] rewrite) and honor a
-	// scenario's engine parameters.
-	EngineAware bool
+// Solvers returns the unified registry in canonical order.
+func Solvers() []Solver { return solver.Registry() }
 
-	// run measures one grid cell. For padded solvers g is nil and n is
-	// the base size; otherwise g is the built family instance.
-	run func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error)
-}
-
-// lclOutcome solves, verifies, and fingerprints a standard ne-LCL cell.
-func lclOutcome(g *graph.Graph, s lcl.Solver, p lcl.Problem, seed int64) (outcome, error) {
-	in := lcl.NewLabeling(g)
-	out, cost, err := s.Solve(g, in, seed)
-	if err != nil {
-		return outcome{}, err
-	}
-	if err := lcl.Verify(g, p, in, out); err != nil {
-		return outcome{}, fmt.Errorf("verify: %w", err)
-	}
-	return outcome{
-		nodes:    g.NumNodes(),
-		edges:    g.NumEdges(),
-		rounds:   cost.Rounds(),
-		checksum: labelingChecksum(out),
-	}, nil
-}
-
-// Solvers returns the registry in canonical order.
-func Solvers() []Solver {
-	return []Solver{
-		{
-			Name:        "cole-vishkin",
-			Description: "3-coloring of cycles via Cole–Vishkin on the sharded engine (Θ(log* n))",
-			CycleOnly:   true,
-			EngineAware: true,
-			run: func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error) {
-				s := &coloring.CVSolver{MaxRounds: 1 << 20, Engine: eng}
-				o, err := lclOutcome(g, s, coloring.Three{}, seed)
-				if err != nil {
-					return o, err
-				}
-				o.messages = s.LastStats.Deliveries
-				return o, nil
-			},
-		},
-		{
-			Name:        "mis",
-			Description: "maximal independent set on cycles via coloring (Θ(log* n))",
-			CycleOnly:   true,
-			run: func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error) {
-				return lclOutcome(g, coloring.NewMISSolver(), coloring.MIS{}, seed)
-			},
-		},
-		{
-			Name:        "matching",
-			Description: "maximal matching on cycles via coloring (Θ(log* n))",
-			CycleOnly:   true,
-			run: func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error) {
-				return lclOutcome(g, coloring.NewMatchingSolver(), coloring.MaximalMatching{}, seed)
-			},
-		},
-		{
-			Name:        "trivial",
-			Description: "the trivial problem (0 rounds) on any family",
-			run: func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error) {
-				return lclOutcome(g, coloring.TrivialSolver{}, coloring.Trivial{}, seed)
-			},
-		},
-		{
-			Name:        "sinkless-det",
-			Description: "sinkless orientation, deterministic cycle-potential solver (Θ(log n))",
-			run: func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error) {
-				return lclOutcome(g, sinkless.NewDetSolver(), sinkless.Problem{}, seed)
-			},
-		},
-		{
-			Name:        "sinkless-rand",
-			Description: "sinkless orientation, randomized claims+repair solver (Θ(loglog n)-shaped)",
-			run: func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error) {
-				return lclOutcome(g, sinkless.NewRandSolver(), sinkless.Problem{}, seed)
-			},
-		},
-		{
-			Name:        "sinkless-msg",
-			Description: "sinkless orientation via message passing on the sharded engine",
-			EngineAware: true,
-			run: func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error) {
-				s := &sinkless.MessageSolver{MaxRounds: 4096, Engine: eng}
-				o, err := lclOutcome(g, s, sinkless.Problem{}, seed)
-				if err != nil {
-					return o, err
-				}
-				o.messages = s.LastStats.Deliveries
-				return o, nil
-			},
-		},
-		{
-			Name:        "netdecomp",
-			Description: "deterministic (O(log n), O(log n)) network decomposition by ball carving",
-			run: func(g *graph.Graph, n int, seed int64, eng *engine.Engine) (outcome, error) {
-				dec, cost, err := netdecomp.Build(g, netdecomp.Options{})
-				if err != nil {
-					return outcome{}, err
-				}
-				if err := netdecomp.Verify(g, dec); err != nil {
-					return outcome{}, fmt.Errorf("verify: %w", err)
-				}
-				return outcome{
-					nodes:    g.NumNodes(),
-					edges:    g.NumEdges(),
-					rounds:   cost.Rounds(),
-					checksum: decompositionChecksum(dec),
-				}, nil
-			},
-		},
-		{
-			Name:        "pi2-det",
-			Description: "Π₂ = padded(sinkless), deterministic (Θ(log² n)); sizes are base-graph nodes",
-			Padded:      true,
-			run:         paddedRun(func(l *core.Level) lcl.Solver { return l.Det }),
-		},
-		{
-			Name:        "pi2-rand",
-			Description: "Π₂ = padded(sinkless), randomized (Θ(log n·loglog n)); sizes are base-graph nodes",
-			Padded:      true,
-			run:         paddedRun(func(l *core.Level) lcl.Solver { return l.Rand }),
-		},
-	}
-}
-
-// paddedRun builds a level-2 balanced instance and runs the selected
-// hierarchy solver on it.
-func paddedRun(pick func(*core.Level) lcl.Solver) func(*graph.Graph, int, int64, *engine.Engine) (outcome, error) {
-	return func(_ *graph.Graph, n int, seed int64, _ *engine.Engine) (outcome, error) {
-		lvl, err := core.NewLevel(2)
-		if err != nil {
-			return outcome{}, err
-		}
-		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: n, Seed: seed, Balanced: true})
-		if err != nil {
-			return outcome{}, err
-		}
-		out, cost, err := pick(lvl).Solve(inst.G, inst.In, seed)
-		if err != nil {
-			return outcome{}, err
-		}
-		if err := lvl.Verify(inst.G, inst.In, out); err != nil {
-			return outcome{}, fmt.Errorf("verify: %w", err)
-		}
-		return outcome{
-			nodes:    inst.G.NumNodes(),
-			edges:    inst.G.NumEdges(),
-			rounds:   cost.Rounds(),
-			checksum: labelingChecksum(out),
-		}, nil
-	}
-}
-
-// SolverByName looks a solver up by its registry name.
-func SolverByName(name string) (Solver, bool) {
-	for _, s := range Solvers() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Solver{}, false
-}
+// SolverByName looks a solver up by its registry name (or alias).
+func SolverByName(name string) (Solver, bool) { return solver.ByName(name) }
 
 // SolverNames returns the registry names in canonical order.
-func SolverNames() []string {
-	sols := Solvers()
-	out := make([]string, len(sols))
-	for i, s := range sols {
-		out[i] = s.Name
-	}
-	return out
-}
-
-// labelingChecksum fingerprints an output labeling with FNV-1a 64,
-// section-separated so (Node, Edge, Half) permutations cannot collide
-// trivially. It is the per-cell "labels checksum" of the report: two runs
-// agree on a cell iff they produced the identical labeling.
-func labelingChecksum(l *lcl.Labeling) uint64 {
-	h := fnv.New64a()
-	sep := []byte{0}
-	section := []byte{0xff}
-	for _, lab := range l.Node {
-		h.Write([]byte(lab))
-		h.Write(sep)
-	}
-	h.Write(section)
-	for _, lab := range l.Edge {
-		h.Write([]byte(lab))
-		h.Write(sep)
-	}
-	h.Write(section)
-	for _, lab := range l.Half {
-		h.Write([]byte(lab))
-		h.Write(sep)
-	}
-	return h.Sum64()
-}
-
-// decompositionChecksum fingerprints a network decomposition: cluster
-// assignment, cluster colors, and the reported radius/color counts.
-func decompositionChecksum(d *netdecomp.Decomposition) uint64 {
-	h := fnv.New64a()
-	var buf [binary.MaxVarintLen64]byte
-	writeInt := func(x int) {
-		n := binary.PutVarint(buf[:], int64(x))
-		h.Write(buf[:n])
-	}
-	for _, c := range d.Cluster {
-		writeInt(c)
-	}
-	h.Write([]byte{0xff})
-	for _, c := range d.Color {
-		writeInt(c)
-	}
-	h.Write([]byte{0xff})
-	writeInt(d.Radius)
-	writeInt(d.Colors)
-	return h.Sum64()
-}
+func SolverNames() []string { return solver.Names() }

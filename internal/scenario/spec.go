@@ -14,18 +14,18 @@ import (
 	"os"
 	"strings"
 
-	"locallab/internal/core"
 	"locallab/internal/graph"
+	"locallab/internal/solver"
 )
 
 // PaddedFamily is the pseudo-family of hierarchy (Π₂) instances: sizes
 // are base-graph node counts, and instances are built with
 // core.BuildInstance rather than a graph generator.
-const PaddedFamily = "padded"
+const PaddedFamily = solver.PaddedFamily
 
 // PaddedMinSize is core.BuildInstance's base-size floor, re-exported for
 // listings.
-const PaddedMinSize = core.MinBaseNodes
+const PaddedMinSize = solver.PaddedMinSize
 
 // EngineParams are the sharded-engine knobs a scenario may pin. They only
 // affect scheduling, never outputs: the engine is deterministic across

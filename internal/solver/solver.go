@@ -1,0 +1,399 @@
+// Package solver is the unified runtime registry: every workload the
+// repository can execute — engine-backed message-passing solvers,
+// view-gathering solvers, network decomposition, and the padded
+// hierarchy — behind one named entry with uniform instance construction,
+// verification, and measurement. internal/scenario, cmd/lcl-run, and the
+// experiment harness behind cmd/lcl-bench all consume this registry, so
+// there is exactly one place where a solver name maps to code.
+//
+// The registry collapses the former split between "engine-aware" and
+// "padded" solver worlds: padded entries construct their hierarchy
+// instances and run the whole Lemma-4 pipeline on the sharded engine
+// (core.EnginePaddedSolver), honoring the same engine parameters as every
+// other message-passing entry and reporting real engine.Stats delivery
+// counts.
+package solver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"locallab/internal/coloring"
+	"locallab/internal/core"
+	"locallab/internal/engine"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+	"locallab/internal/local"
+	"locallab/internal/netdecomp"
+	"locallab/internal/sinkless"
+)
+
+// PaddedFamily is the pseudo-family of hierarchy (Π₂) instances: sizes
+// are base-graph node counts, and instances are built with
+// core.BuildInstance rather than a graph generator.
+const PaddedFamily = "padded"
+
+// PaddedMinSize is core.BuildInstance's base-size floor.
+const PaddedMinSize = core.MinBaseNodes
+
+// Request names one grid cell: the instance family, its size and seed,
+// and the engine the solver should execute on (nil = engine defaults,
+// only meaningful for engine-aware entries).
+type Request struct {
+	// Family is a graph-family name, PaddedFamily, or "" for the entry's
+	// DefaultFamily.
+	Family string
+	// N is the instance size (base-graph nodes for padded entries).
+	N int
+	// Seed drives instance construction and solver randomness.
+	Seed int64
+	// Engine configures engine-aware solvers; ignored by the rest.
+	Engine *engine.Engine
+}
+
+// Outcome is one completed, verified cell measurement. Every field except
+// G/In/Out/Cost is deterministic for the request, which is what makes
+// scenario reports byte-diffable.
+type Outcome struct {
+	// Nodes and Edges are the actual instance shape.
+	Nodes, Edges int
+	// Rounds is the analytical round complexity (Cost.Rounds()).
+	Rounds int
+	// Stats is the engine execution profile (zero for solvers that do not
+	// execute on the engine). Deterministic across worker/shard settings.
+	Stats engine.Stats
+	// Checksum fingerprints the verified output (FNV-1a 64).
+	Checksum uint64
+	// G, In, Out, Cost expose the instance and solution for callers that
+	// inspect or dump them (cmd/lcl-run, examples). Out is nil for
+	// non-labeling workloads (netdecomp).
+	G    *graph.Graph
+	In   *lcl.Labeling
+	Out  *lcl.Labeling
+	Cost *local.Cost
+	// Padded carries the Lemma-4 diagnostics of padded entries.
+	Padded *core.Detail
+	// Instance is the padded entries' construction trail.
+	Instance *core.Instance
+	// Decomposition carries the verified decomposition of the netdecomp
+	// entry.
+	Decomposition *netdecomp.Decomposition
+}
+
+// Entry is one registry row: a named workload plus the constraints spec
+// validation and CLIs enforce.
+type Entry struct {
+	// Name is the canonical registry key; Aliases are accepted by ByName
+	// for backward-compatible CLI spellings.
+	Name    string
+	Aliases []string
+	// Description is a one-line summary for listings.
+	Description string
+	// DefaultFamily is the family used when a request leaves it empty.
+	DefaultFamily string
+	// CycleOnly restricts the solver to the cycle families.
+	CycleOnly bool
+	// Padded marks solvers running on hierarchy instances; their sizes
+	// are base-graph node counts.
+	Padded bool
+	// EngineAware marks solvers that execute on the sharded engine and
+	// honor a request's engine parameters.
+	EngineAware bool
+
+	// Run measures one grid cell: build the instance, solve, verify, and
+	// fingerprint.
+	Run func(req Request) (*Outcome, error)
+}
+
+// CheckFamily validates a resolved family name against the entry's
+// constraints.
+func (e Entry) CheckFamily(family string) error {
+	if e.Padded {
+		if family != PaddedFamily {
+			return fmt.Errorf("solver %q requires family %q", e.Name, PaddedFamily)
+		}
+		return nil
+	}
+	if family == PaddedFamily {
+		return fmt.Errorf("solver %q does not run on padded instances", e.Name)
+	}
+	if _, ok := graph.FamilyByName(family); !ok {
+		return fmt.Errorf("unknown graph family %q", family)
+	}
+	if e.CycleOnly && family != "cycle" && family != "cycle-advid" {
+		return fmt.Errorf("solver %q runs on cycles only (family %q)", e.Name, family)
+	}
+	return nil
+}
+
+// lclRun builds a family instance, solves, verifies against the problem,
+// and fingerprints the labeling.
+func lclRun(req Request, s lcl.Solver, p lcl.Problem) (*Outcome, error) {
+	g, err := graph.BuildFamily(req.Family, req.N, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	in := lcl.NewLabeling(g)
+	out, cost, err := s.Solve(g, in, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := lcl.Verify(g, p, in, out); err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	return &Outcome{
+		Nodes:    g.NumNodes(),
+		Edges:    g.NumEdges(),
+		Rounds:   cost.Rounds(),
+		Checksum: LabelingChecksum(out),
+		G:        g,
+		In:       in,
+		Out:      out,
+		Cost:     cost,
+	}, nil
+}
+
+// paddedRun builds a balanced level-2 instance and runs the engine-backed
+// hierarchy solver on it.
+func paddedRun(pick func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver) func(Request) (*Outcome, error) {
+	return func(req Request) (*Outcome, error) {
+		lvl, err := core.NewLevel(2)
+		if err != nil {
+			return nil, err
+		}
+		det, rnd, err := lvl.EngineSolvers(req.Engine)
+		if err != nil {
+			return nil, err
+		}
+		s := pick(det, rnd)
+		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.SolveDetailed(inst.G, inst.In, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := lvl.Verify(inst.G, inst.In, d.Out); err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		return &Outcome{
+			Nodes:    inst.G.NumNodes(),
+			Edges:    inst.G.NumEdges(),
+			Rounds:   d.Cost.Rounds(),
+			Stats:    engine.Stats{Rounds: d.Engine.Rounds(), Deliveries: d.Engine.Deliveries()},
+			Checksum: LabelingChecksum(d.Out),
+			G:        inst.G,
+			In:       inst.In,
+			Out:      d.Out,
+			Cost:     d.Cost,
+			Padded:   d,
+			Instance: inst,
+		}, nil
+	}
+}
+
+// Registry returns the unified registry in canonical order.
+func Registry() []Entry {
+	return []Entry{
+		{
+			Name:          "cole-vishkin",
+			Aliases:       []string{"3coloring"},
+			Description:   "3-coloring of cycles via Cole–Vishkin on the sharded engine (Θ(log* n))",
+			DefaultFamily: "cycle",
+			CycleOnly:     true,
+			EngineAware:   true,
+			Run: func(req Request) (*Outcome, error) {
+				s := &coloring.CVSolver{MaxRounds: 1 << 20, Engine: req.Engine}
+				o, err := lclRun(req, s, coloring.Three{})
+				if err != nil {
+					return nil, err
+				}
+				o.Stats = s.LastStats
+				return o, nil
+			},
+		},
+		{
+			Name:          "mis",
+			Description:   "maximal independent set on cycles via coloring (Θ(log* n))",
+			DefaultFamily: "cycle",
+			CycleOnly:     true,
+			Run: func(req Request) (*Outcome, error) {
+				return lclRun(req, coloring.NewMISSolver(), coloring.MIS{})
+			},
+		},
+		{
+			Name:          "matching",
+			Description:   "maximal matching on cycles via coloring (Θ(log* n))",
+			DefaultFamily: "cycle",
+			CycleOnly:     true,
+			Run: func(req Request) (*Outcome, error) {
+				return lclRun(req, coloring.NewMatchingSolver(), coloring.MaximalMatching{})
+			},
+		},
+		{
+			Name:          "orientation",
+			Description:   "consistent cycle orientation (Θ(n), the global corner)",
+			DefaultFamily: "cycle",
+			CycleOnly:     true,
+			Run: func(req Request) (*Outcome, error) {
+				return lclRun(req, coloring.GlobalOrientationSolver{}, coloring.ConsistentOrientation{})
+			},
+		},
+		{
+			Name:          "trivial",
+			Description:   "the trivial problem (0 rounds) on any family",
+			DefaultFamily: "regular",
+			Run: func(req Request) (*Outcome, error) {
+				return lclRun(req, coloring.TrivialSolver{}, coloring.Trivial{})
+			},
+		},
+		{
+			Name:          "sinkless-det",
+			Description:   "sinkless orientation, deterministic cycle-potential solver (Θ(log n))",
+			DefaultFamily: "regular",
+			Run: func(req Request) (*Outcome, error) {
+				return lclRun(req, sinkless.NewDetSolver(), sinkless.Problem{})
+			},
+		},
+		{
+			Name:          "sinkless-rand",
+			Description:   "sinkless orientation, randomized claims+repair solver (Θ(loglog n)-shaped)",
+			DefaultFamily: "regular",
+			Run: func(req Request) (*Outcome, error) {
+				return lclRun(req, sinkless.NewRandSolver(), sinkless.Problem{})
+			},
+		},
+		{
+			Name:          "sinkless-msg",
+			Description:   "sinkless orientation via message passing on the sharded engine",
+			DefaultFamily: "regular",
+			EngineAware:   true,
+			Run: func(req Request) (*Outcome, error) {
+				s := &sinkless.MessageSolver{MaxRounds: 4096, Engine: req.Engine}
+				o, err := lclRun(req, s, sinkless.Problem{})
+				if err != nil {
+					return nil, err
+				}
+				o.Stats = s.LastStats
+				return o, nil
+			},
+		},
+		{
+			Name:          "netdecomp",
+			Description:   "deterministic (O(log n), O(log n)) network decomposition by ball carving",
+			DefaultFamily: "regular",
+			Run: func(req Request) (*Outcome, error) {
+				g, err := graph.BuildFamily(req.Family, req.N, req.Seed)
+				if err != nil {
+					return nil, err
+				}
+				dec, cost, err := netdecomp.Build(g, netdecomp.Options{})
+				if err != nil {
+					return nil, err
+				}
+				if err := netdecomp.Verify(g, dec); err != nil {
+					return nil, fmt.Errorf("verify: %w", err)
+				}
+				return &Outcome{
+					Nodes:         g.NumNodes(),
+					Edges:         g.NumEdges(),
+					Rounds:        cost.Rounds(),
+					Checksum:      DecompositionChecksum(dec),
+					G:             g,
+					Cost:          cost,
+					Decomposition: dec,
+				}, nil
+			},
+		},
+		{
+			Name:          "pi2-det",
+			Description:   "Π₂ = padded(sinkless) on the sharded engine, deterministic (Θ(log² n)); sizes are base-graph nodes",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			EngineAware:   true,
+			Run:           paddedRun(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return det }),
+		},
+		{
+			Name:          "pi2-rand",
+			Description:   "Π₂ = padded(sinkless) on the sharded engine, randomized (Θ(log n·loglog n)); sizes are base-graph nodes",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			EngineAware:   true,
+			Run:           paddedRun(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return rnd }),
+		},
+	}
+}
+
+// ByName looks an entry up by its canonical name or an alias.
+func ByName(name string) (Entry, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, true
+		}
+		for _, a := range e.Aliases {
+			if a == name {
+				return e, true
+			}
+		}
+	}
+	return Entry{}, false
+}
+
+// Names returns the canonical registry names in canonical order.
+func Names() []string {
+	entries := Registry()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// LabelingChecksum fingerprints an output labeling with FNV-1a 64,
+// section-separated so (Node, Edge, Half) permutations cannot collide
+// trivially. It is the per-cell "labels checksum" of scenario reports:
+// two runs agree on a cell iff they produced the identical labeling.
+func LabelingChecksum(l *lcl.Labeling) uint64 {
+	h := fnv.New64a()
+	sep := []byte{0}
+	section := []byte{0xff}
+	for _, lab := range l.Node {
+		h.Write([]byte(lab))
+		h.Write(sep)
+	}
+	h.Write(section)
+	for _, lab := range l.Edge {
+		h.Write([]byte(lab))
+		h.Write(sep)
+	}
+	h.Write(section)
+	for _, lab := range l.Half {
+		h.Write([]byte(lab))
+		h.Write(sep)
+	}
+	return h.Sum64()
+}
+
+// DecompositionChecksum fingerprints a network decomposition: cluster
+// assignment, cluster colors, and the reported radius/color counts.
+func DecompositionChecksum(d *netdecomp.Decomposition) uint64 {
+	h := fnv.New64a()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(x int) {
+		n := binary.PutVarint(buf[:], int64(x))
+		h.Write(buf[:n])
+	}
+	for _, c := range d.Cluster {
+		writeInt(c)
+	}
+	h.Write([]byte{0xff})
+	for _, c := range d.Color {
+		writeInt(c)
+	}
+	h.Write([]byte{0xff})
+	writeInt(d.Radius)
+	writeInt(d.Colors)
+	return h.Sum64()
+}

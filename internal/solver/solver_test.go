@@ -1,0 +1,122 @@
+package solver
+
+import (
+	"testing"
+
+	"locallab/internal/engine"
+)
+
+func TestRegistryShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.Name == "" || e.Description == "" || e.Run == nil || e.DefaultFamily == "" {
+			t.Errorf("entry %q incomplete", e.Name)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Padded && !e.EngineAware {
+			t.Errorf("entry %q: padded entries must run on the engine", e.Name)
+		}
+		if err := e.CheckFamily(e.DefaultFamily); err != nil {
+			t.Errorf("entry %q rejects its own default family: %v", e.Name, err)
+		}
+	}
+	for _, name := range []string{"cole-vishkin", "sinkless-msg", "pi2-det", "pi2-rand", "netdecomp"} {
+		if !seen[name] {
+			t.Errorf("missing entry %q", name)
+		}
+	}
+}
+
+func TestByNameAlias(t *testing.T) {
+	direct, ok := ByName("cole-vishkin")
+	if !ok {
+		t.Fatal("cole-vishkin missing")
+	}
+	alias, ok := ByName("3coloring")
+	if !ok {
+		t.Fatal("3coloring alias missing")
+	}
+	if direct.Name != alias.Name {
+		t.Fatalf("alias resolves to %q, want %q", alias.Name, direct.Name)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestCheckFamily(t *testing.T) {
+	cv, _ := ByName("cole-vishkin")
+	if err := cv.CheckFamily("cycle-advid"); err != nil {
+		t.Errorf("cycle-advid rejected: %v", err)
+	}
+	if err := cv.CheckFamily("regular"); err == nil {
+		t.Error("cycle-only entry accepted regular")
+	}
+	if err := cv.CheckFamily(PaddedFamily); err == nil {
+		t.Error("graph entry accepted padded family")
+	}
+	pi, _ := ByName("pi2-det")
+	if err := pi.CheckFamily(PaddedFamily); err != nil {
+		t.Errorf("padded entry rejects padded family: %v", err)
+	}
+	if err := pi.CheckFamily("regular"); err == nil {
+		t.Error("padded entry accepted a graph family")
+	}
+	sk, _ := ByName("sinkless-det")
+	if err := sk.CheckFamily("moebius"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+// TestPaddedEntryReportsEngineStats is the registry-level acceptance
+// check: padded cells execute on the engine and report nonzero
+// deterministic delivery counts, identical across engine geometries.
+func TestPaddedEntryReportsEngineStats(t *testing.T) {
+	entry, _ := ByName("pi2-det")
+	var first *Outcome
+	for _, opts := range []engine.Options{{Workers: 1}, {Workers: 4, Shards: 16}, {Sequential: true}} {
+		o, err := entry.Run(Request{Family: PaddedFamily, N: 12, Seed: 1, Engine: engine.New(opts)})
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if o.Stats.Deliveries <= 0 || o.Stats.Rounds <= 0 {
+			t.Fatalf("%+v: padded cell reported empty engine stats %+v", opts, o.Stats)
+		}
+		if o.Stats.Rounds > o.Rounds {
+			t.Fatalf("%+v: measured rounds %d exceed analytical bound %d", opts, o.Stats.Rounds, o.Rounds)
+		}
+		if first == nil {
+			first = o
+			continue
+		}
+		if o.Checksum != first.Checksum || o.Stats != first.Stats || o.Rounds != first.Rounds {
+			t.Fatalf("%+v: outcome differs across engine geometries", opts)
+		}
+	}
+}
+
+// TestEngineUnawareEntriesIgnoreEngine: non-engine entries run fine with
+// a nil engine and report zero stats.
+func TestEngineUnawareEntriesIgnoreEngine(t *testing.T) {
+	for _, name := range []string{"sinkless-det", "mis", "netdecomp"} {
+		e, _ := ByName(name)
+		fam := e.DefaultFamily
+		n := 64
+		if fam == "cycle" {
+			n = 33
+		}
+		o, err := e.Run(Request{Family: fam, N: n, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Stats != (engine.Stats{}) {
+			t.Errorf("%s: non-engine entry reported engine stats %+v", name, o.Stats)
+		}
+		if o.Checksum == 0 || o.Cost == nil {
+			t.Errorf("%s: incomplete outcome", name)
+		}
+	}
+}

@@ -15,8 +15,9 @@
 //	internal/sinkless    sinkless orientation (Π₁) and its two solvers
 //	internal/coloring    Figure-1 baselines (Cole–Vishkin, MIS, ...)
 //	internal/gadget      the (log, Δ)-gadget family (Section 4)
-//	internal/errorproof  the error-proof LCL Ψ and verifier V (§4.4–4.6)
-//	internal/core        padded problems Π′, solver, hierarchy (§3, §5)
+//	internal/errorproof  the error-proof LCL Ψ, verifier V, and its engine machines (§4.4–4.6)
+//	internal/core        padded problems Π′, sequential + engine solvers, hierarchy (§3, §5)
+//	internal/solver      the unified solver registry consumed by every tool
 //	internal/measure     sweeps, growth fitting, tables
 //	internal/experiments one experiment per paper figure/theorem
 //
@@ -75,8 +76,11 @@ type (
 type (
 	// PiPrime is the padded problem Π′ of Section 3.3.
 	PiPrime = core.PiPrime
-	// PaddedSolver is the Lemma-4 algorithm.
+	// PaddedSolver is the Lemma-4 algorithm (sequential oracle).
 	PaddedSolver = core.PaddedSolver
+	// EnginePaddedSolver is the Lemma-4 algorithm executing as
+	// message-passing machines on the sharded engine.
+	EnginePaddedSolver = core.EnginePaddedSolver
 	// PaddedInstance is a graph from the family G(G) of Definition 3.
 	PaddedInstance = core.PaddedInstance
 	// PadOptions configures padded-instance construction.
