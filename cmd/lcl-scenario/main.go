@@ -3,7 +3,13 @@
 // grids, solvers, and engine parameters; the runner executes the grids
 // on the sharded engine and emits a structured report whose canonical
 // JSON is byte-identical across runs and worker counts — the format the
-// CI benchmark artifact records.
+// CI benchmark artifact records. The report schema (locallab.report/v1)
+// is documented field by field in docs/REPORT_SCHEMA.md.
+//
+// Parallelism precedence: a scenario's engine.workers always governs the
+// engine layer inside its cells; -workers governs only the grid layer.
+// Passing -workers > 1 explicitly while a scenario pins engine.workers
+// > 1 is rejected loudly (exactly one layer may parallelize).
 //
 // Usage:
 //
@@ -36,13 +42,21 @@ func run(args []string, stdout *os.File) error {
 	specPath := fs.String("spec", "", "path to a scenario spec (JSON); see -list for builtins instead")
 	builtin := fs.String("builtin", "", "run a builtin spec by name (see -list)")
 	list := fs.Bool("list", false, "list builtin specs, graph families, and solvers, then exit")
-	jsonOut := fs.String("json", "", "write the canonical JSON report to this file ('-' for stdout)")
-	workers := fs.Int("workers", 0, "grid workers: each scenario's (size × seed) cells run this wide (0 = GOMAXPROCS)")
+	jsonOut := fs.String("json", "", "write the canonical JSON report to this file ('-' for stdout); schema documented in docs/REPORT_SCHEMA.md")
+	workers := fs.Int("workers", 0, "grid workers: each scenario's (size × seed) cells run this wide (0 = GOMAXPROCS); spec engine.workers governs the engine layer, and an explicit value > 1 conflicts loudly with spec-pinned engine workers")
 	shards := fs.Int("shards", 0, "override engine shards for engine-aware solvers (0 = spec values; outputs identical either way)")
 	timing := fs.Bool("timing", false, "record per-cell wall time in the report (makes reports non-byte-identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// An explicit -workers 0 means "the adaptive default" per the flag
+	// help, so only positive values count as an explicit width request.
+	workersExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" && *workers > 0 {
+			workersExplicit = true
+		}
+	})
 	if *list {
 		printList(stdout)
 		return nil
@@ -55,9 +69,10 @@ func run(args []string, stdout *os.File) error {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	rep, err := scenario.Run(spec, scenario.RunOptions{
-		GridWorkers:   *workers,
-		ShardOverride: *shards,
-		Timing:        *timing,
+		GridWorkers:         *workers,
+		GridWorkersExplicit: workersExplicit,
+		ShardOverride:       *shards,
+		Timing:              *timing,
 	})
 	if err != nil {
 		return err

@@ -3,12 +3,16 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 // TestCISmokeByteIdentical is the CLI-level acceptance check: the JSON
 // report of the ci-smoke builtin is byte-identical across repeated runs
-// and across -workers settings.
+// and across grid-worker settings. ci-smoke pins engine workers in some
+// cells, so the grid is widened through the adaptive default (no
+// -workers flag), not an explicit -workers > 1 (which conflicts loudly;
+// see TestWorkersConflictsWithSpecEnginePin).
 func TestCISmokeByteIdentical(t *testing.T) {
 	dir := t.TempDir()
 	paths := []string{
@@ -18,7 +22,7 @@ func TestCISmokeByteIdentical(t *testing.T) {
 	}
 	argSets := [][]string{
 		{"-builtin", "ci-smoke", "-json", paths[0], "-workers", "1"},
-		{"-builtin", "ci-smoke", "-json", paths[1], "-workers", "8"},
+		{"-builtin", "ci-smoke", "-json", paths[1]},
 		{"-builtin", "ci-smoke", "-json", paths[2], "-workers", "1", "-shards", "13"},
 	}
 	var first []byte
@@ -81,5 +85,19 @@ func TestBadInvocations(t *testing.T) {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("%v: expected error", args)
 		}
+	}
+}
+
+// TestWorkersConflictsWithSpecEnginePin: an explicit -workers > 1 must
+// fail loudly against a spec that pins engine workers per cell (ci-smoke
+// does) instead of silently multiplying the two parallel layers; an
+// explicit -workers 1 and the adaptive default both stay valid.
+func TestWorkersConflictsWithSpecEnginePin(t *testing.T) {
+	err := run([]string{"-builtin", "ci-smoke", "-workers", "4"}, os.Stdout)
+	if err == nil {
+		t.Fatal("-workers 4 against engine-pinning spec accepted")
+	}
+	if !strings.Contains(err.Error(), "conflicts with scenario") {
+		t.Fatalf("unexpected error text: %v", err)
 	}
 }

@@ -81,3 +81,81 @@ func BenchmarkSimMachineSteadyState(b *testing.B) {
 		sess.Step()
 	}
 }
+
+// pinnedRelay delegates to the production relayMachine (including the
+// hosted virtual machine at leader nodes) but never reports done, keeping
+// compute and delivery inside the measured window.
+type pinnedRelay struct{ relayMachine }
+
+func (m *pinnedRelay) Round(recv, send []relayMsg) bool {
+	m.relayMachine.Round(recv, send)
+	return false
+}
+
+// newRelaySession builds a payload-relay session on a balanced Π₂
+// instance, reset and stepped into steady state.
+func newRelaySession(tb testing.TB, opts engine.Options) *engine.Session[relayMsg] {
+	tb.Helper()
+	inst, err := BuildInstance(2, InstanceOptions{BaseNodes: 24, Seed: 5, Balanced: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := NewEnginePaddedSolver(sinkless.NewDetSolver(), 3, engine.New(engine.Options{Sequential: true}))
+	d, err := s.SolveDetailed(inst.G, inst.In, 5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	scope := GadScope(inst.G, inst.In)
+	table := NewFactTable(d.Virtual)
+	machines, _ := buildRelayMachines(inst.G, scope, d.Virtual, table,
+		GatherFactory(sinkless.NewDetSolver()), d.Dilation, 5)
+	pinned := make([]pinnedRelay, len(machines))
+	typed := make([]engine.TypedMachine[relayMsg], len(machines))
+	for v := range machines {
+		pinned[v] = pinnedRelay{machines[v]}
+		typed[v] = &pinned[v]
+	}
+	sess, err := engine.NewCore[relayMsg](opts).NewSession(inst.G, typed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sess.Reset(1, false)
+	for i := 0; i < 4; i++ {
+		sess.Step()
+	}
+	return sess
+}
+
+// TestRelayMachineSteadyStateAllocs pins the payload-relay round loop —
+// knowledge merging, virtual-machine rounds at the leaders, and the
+// double-buffered broadcast — to zero allocations in both execution
+// modes.
+func TestRelayMachineSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts engine.Options
+	}{
+		{"inline", engine.Options{Sequential: true}},
+		{"pooled", engine.Options{Workers: 4, Shards: 16}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			sess := newRelaySession(t, mode.opts)
+			defer sess.Close()
+			if allocs := testing.AllocsPerRun(64, func() { sess.Step() }); allocs != 0 {
+				t.Fatalf("steady-state relay round allocates %v times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkRelayMachineSteadyState measures one payload-relay round
+// end-to-end on a balanced Π₂ instance; it must report 0 allocs/op.
+func BenchmarkRelayMachineSteadyState(b *testing.B) {
+	sess := newRelaySession(b, engine.Options{})
+	defer sess.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Step()
+	}
+}

@@ -12,29 +12,34 @@ import (
 
 // EngineRunStats is the measured engine profile of an engine-backed
 // padded solve: one session for the Ψ verifier machines, one for the
-// virtual-round simulation machines. Both profiles are deterministic for
-// a given instance — identical across every worker/shard geometry.
+// payload-relay session carrying the inner machines' messages. Both
+// profiles are deterministic for a given instance — identical across
+// every worker/shard geometry.
 type EngineRunStats struct {
-	Psi engine.Stats
-	Sim engine.Stats
+	Psi   engine.Stats
+	Relay engine.Stats
 }
 
 // Rounds is the total measured physical rounds of the solve.
-func (s *EngineRunStats) Rounds() int { return s.Psi.Rounds + s.Sim.Rounds }
+func (s *EngineRunStats) Rounds() int { return s.Psi.Rounds + s.Relay.Rounds }
 
 // Deliveries is the total messages delivered across both sessions.
-func (s *EngineRunStats) Deliveries() int64 { return s.Psi.Deliveries + s.Sim.Deliveries }
+func (s *EngineRunStats) Deliveries() int64 { return s.Psi.Deliveries + s.Relay.Deliveries }
 
-// EnginePaddedSolver is the Lemma-4 algorithm executing on the sharded
-// message-passing engine: the Ψ verifier runs as a fixpoint exchange of
-// predicate vectors (errorproof.Verifier.RunEngine), port validity is a
-// constant-radius local decision on the converged Ψ outputs, and every
-// simulated inner round is realized as dilation+1 physical rounds of
-// gadget-interior flooding plus one port-edge hop (RunSimulation). The
-// output labeling and the analytical Cost are byte-identical to the
-// sequential PaddedSolver oracle — the assembly stages are shared code —
-// while LastStats reports the real measured rounds and message
-// deliveries, which stay at or below the analytical O(T·d(n)) charge.
+// EnginePaddedSolver is the Lemma-4 algorithm executing end to end on the
+// sharded message-passing engine: the Ψ verifier runs as a fixpoint
+// exchange of predicate vectors (errorproof.Verifier.RunEngine), port
+// validity is a constant-radius local decision on the converged Ψ
+// outputs, and the inner algorithm runs as native machines over the
+// payload relay plane (RunRelay) — its knowledge payloads carried
+// through gadget interiors and across port edges under the d+1-round
+// super-round schedule, with no centralized inner Solve call anywhere in
+// the pipeline. The output labeling is byte-identical to the sequential
+// PaddedSolver oracle (the assembly stages are shared code and the
+// native inner execution is differential-tested against the oracle),
+// while Cost charges the rounds actually executed: the Ψ radius plus the
+// measured relay-session length for every valid-gadget node, so the
+// measured engine rounds never exceed the charged bound.
 type EnginePaddedSolver struct {
 	Delta int
 	Inner lcl.Solver
@@ -89,28 +94,43 @@ func (s *EnginePaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, see
 	}
 	cost.Merge(psiCost)
 
-	// Steps 2-5: shared pipeline (port validity, contraction, inner
-	// solve, Σlist expansion) — identical code to the sequential oracle.
-	d, err := finishPadded(g, gadIn, piIn, scope, psiOut, s.Inner, s.Delta, seed, psiCost, cost)
+	// Steps 2-3: port validity and virtual contraction, shared code with
+	// the sequential oracle.
+	plan, err := planPadded(g, gadIn, piIn, scope, psiOut, s.Delta)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4, native style: the inner algorithm runs as virtual machines
+	// over the payload relay plane — its per-virtual-edge messages
+	// flood-forwarded through the gadget interiors, one virtual hop per
+	// super-round, with per-virtual-node RNG streams pinned by virtual
+	// identifier so every worker/shard geometry produces the same bytes.
+	stats := EngineRunStats{Psi: psiStats}
+	var virtOut *lcl.Labeling
+	innerCost := local.NewCost(plan.vg.NumVirtualNodes())
+	if plan.vg.NumVirtualNodes() > 0 {
+		table := NewFactTable(plan.vg)
+		relay, err := RunRelay(s.Engine, g, scope, plan.vg, table, GatherFactory(s.Inner), plan.dilation, seed)
+		if err != nil {
+			return nil, fmt.Errorf("engine padded solve: %w", err)
+		}
+		virtOut = relay.Out
+		for vi, r := range relay.Rounds {
+			innerCost.Charge(graph.NodeID(vi), r)
+		}
+		stats.Relay = relay.Stats
+	}
+
+	// Step 5: shared assembly; every valid-gadget node is charged the
+	// rounds it actually executed — Ψ radius plus the measured relay
+	// session length.
+	d, err := assemblePadded(g, plan, virtOut, innerCost, psiCost, cost, s.Delta,
+		func(graph.NodeID, int) int { return stats.Relay.Rounds })
 	if err != nil {
 		return nil, err
 	}
 	d.PsiRadius = vf.Radius(n)
-
-	// Realize the simulated inner rounds as physical message rounds: the
-	// measured session length equals the analytical (T+1)·(d+1) charge.
-	stats := EngineRunStats{Psi: psiStats}
-	if d.Virtual.NumVirtualNodes() > 0 {
-		innerRounds := 0
-		if d.InnerCost != nil {
-			innerRounds = d.InnerCost.Rounds()
-		}
-		sim, err := RunSimulation(s.Engine, g, scope, d.Virtual, innerRounds, d.Dilation)
-		if err != nil {
-			return nil, fmt.Errorf("engine padded solve: %w", err)
-		}
-		stats.Sim = sim.Stats
-	}
 	d.Engine = &stats
 	s.LastStats = stats
 	return d, nil

@@ -63,11 +63,13 @@ func NewLevel(i int) (*Level, error) {
 
 // EngineSolvers returns engine-backed counterparts of the level's Det and
 // Rand solvers: the same Lemma-4 pipeline, executed as message-passing
-// machines on the sharded engine (nil eng uses the engine defaults). Only
-// padded levels (i >= 2) run on the engine; level 1 is the sinkless base
-// problem whose message solver lives in internal/sinkless. For levels
-// above 2 the top padding layer executes on the engine while the inner
-// padded levels run through the sequential recursion (see ROADMAP).
+// machines on the sharded engine (nil eng uses the engine defaults),
+// with the inner algorithm running as native machines over the payload
+// relay plane. Only padded levels (i >= 2) run on the engine; level 1 is
+// the sinkless base problem whose message solver lives in
+// internal/sinkless. For levels above 2 the top padding layer executes
+// on the engine while the inner padded levels recurse sequentially
+// inside the gather machines' decision functions (see ROADMAP).
 func (l *Level) EngineSolvers(eng *engine.Engine) (det, rnd *EnginePaddedSolver, err error) {
 	ps, ok := l.Det.(*PaddedSolver)
 	if !ok {

@@ -4,6 +4,32 @@
 // padded instances (Definition 3, Lemma 5), the Lemma-4 solver that
 // simulates a Π-solver on the virtual graph obtained by contracting valid
 // gadgets, and the recursive hierarchy Πᵢ of Theorem 11.
+//
+// Two executions of the Lemma-4 pipeline exist. PaddedSolver is the
+// sequential oracle: centralized Ψ walk, one centralized inner Solve
+// call on the virtual graph H. EnginePaddedSolver runs the same
+// pipeline as machines on the sharded engine: Ψ as a fixpoint exchange,
+// and the inner algorithm as native VirtualMachines over the payload
+// relay plane (vm.go, relay.go) — no centralized inner Solve anywhere.
+// Steps 2-3 and 5 are shared code (planPadded, assemblePadded); step 4
+// is differential-tested native vs centralized.
+//
+// Invariants (pinned by tests in this package and at the root):
+//
+//   - Byte-identity. Both solvers produce identical output labelings for
+//     a given (instance, seed), across every engine worker/shard
+//     geometry, pooled or inline.
+//   - Seed-pinned randomness. Randomized inner streams derive from
+//     (master seed, virtual identifier) — the gadget's minimal physical
+//     identifier — never from worker, shard, or scheduling state.
+//   - 0 allocs/op steady state. The Ψ, mask-simulation, and
+//     payload-relay round loops allocate nothing after session setup.
+//   - Honest accounting. The engine path charges measured rounds (Ψ
+//     radius + relay-session length), and its measured engine rounds
+//     never exceed the charged Cost bound.
+//
+// See docs/ARCHITECTURE.md for the layer diagram and the map from the
+// paper's lemmas into this package.
 package core
 
 import (

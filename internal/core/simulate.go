@@ -8,8 +8,14 @@ import (
 	"locallab/internal/local"
 )
 
-// This file realizes Lemma 4's virtual-round simulation as physical
-// message passing on the typed engine core. The inner algorithm's T-round
+// This file is the *mask plane*: Lemma 4's virtual-round schedule
+// realized as physical message passing with 64-bit reachability
+// signatures. It is the fixed-schedule baseline that the payload relay
+// plane (relay.go) extends with the inner solver's real knowledge
+// payloads; the engine-backed solver executes the relay, while the mask
+// plane remains the information-flow yardstick (the sandwich tests
+// below) and the lightweight side of the E-E2 delivery-count
+// comparison. The inner algorithm's T-round
 // execution on the virtual graph H is charged (T+1)·(d+1) physical rounds
 // by the analytical accounting: each virtual round crosses one gadget of
 // eccentricity ≤ d plus the port edge. The simulation machine executes
@@ -137,10 +143,7 @@ func RunSimulation(eng *engine.Engine, g *graph.Graph, scope func(graph.EdgeID) 
 func buildSimMachines(g *graph.Graph, scope func(graph.EdgeID) bool,
 	vg *VirtualGraph, innerRounds, dilation int) []simMachine {
 
-	superLen := int32(dilation + 1)
-	if superLen < 1 {
-		superLen = 1
-	}
+	superLen := superRoundLen(dilation)
 	target := int32(innerRounds+1) * superLen
 	n := g.NumNodes()
 	machines := make([]simMachine, n)
@@ -150,14 +153,36 @@ func buildSimMachines(g *graph.Graph, scope func(graph.EdgeID) bool,
 		if ci >= 0 && vg.Valid[ci] && vg.VirtOf[ci] >= 0 {
 			cfg.initMask = VirtSignature(vg, vg.VirtOf[ci])
 		}
-		for p, h := range g.Halves(v) {
-			if scope(h.Edge) {
-				cfg.gad = append(cfg.gad, int32(p))
-			} else if _, ok := vg.VEdgeOf[h.Edge]; ok {
-				cfg.virt = append(cfg.virt, int32(p))
-			}
-		}
+		cfg.gad, cfg.virt = classifyPorts(g, scope, vg, v)
 		machines[v] = simMachine{cfg: cfg}
 	}
 	return machines
+}
+
+// classifyPorts splits node v's ports into gadget-interior ports (scoped
+// edges, flooded every round) and virtual ports (port edges carrying a
+// virtual edge, crossed once per super-round). The mask plane and the
+// payload relay plane route through exactly this classification, so it
+// lives in one place — a one-sided change would break the mask/relay
+// sandwich invariant the tests rely on.
+func classifyPorts(g *graph.Graph, scope func(graph.EdgeID) bool,
+	vg *VirtualGraph, v graph.NodeID) (gad, virt []int32) {
+
+	for p, h := range g.Halves(v) {
+		if scope(h.Edge) {
+			gad = append(gad, int32(p))
+		} else if _, ok := vg.VEdgeOf[h.Edge]; ok {
+			virt = append(virt, int32(p))
+		}
+	}
+	return gad, virt
+}
+
+// superRoundLen is the dilated super-round length d+1, floored at one
+// physical round.
+func superRoundLen(dilation int) int32 {
+	if dilation < 0 {
+		return 1
+	}
+	return int32(dilation + 1)
 }

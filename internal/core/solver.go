@@ -92,8 +92,31 @@ func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int6
 	}
 	cost.Merge(psiCost)
 
-	// Steps 2-5 are shared with the engine-backed solver.
-	d, err := finishPadded(g, gadIn, piIn, scope, psiOut, s.Inner, s.Delta, seed, psiCost, cost)
+	// Steps 2-3 are shared with the engine-backed solver.
+	plan, err := planPadded(g, gadIn, piIn, scope, psiOut, s.Delta)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4, oracle style: the inner solver runs as one centralized call
+	// on H. This is the sequential reference the native-machine execution
+	// (EnginePaddedSolver, relay.go) is differential-tested against.
+	var virtOut *lcl.Labeling
+	innerCost := local.NewCost(plan.vg.NumVirtualNodes())
+	if plan.vg.NumVirtualNodes() > 0 {
+		virtOut, innerCost, err = s.Inner.Solve(plan.vg.H, plan.vg.In, seed)
+		if err != nil {
+			return nil, fmt.Errorf("padded solve inner: %w", err)
+		}
+	}
+
+	// The oracle charges the analytical simulation cost: each inner round
+	// crosses one gadget, so a valid-gadget node pays
+	// (innerRounds+1)·(dilation+1) on top of its Ψ radius.
+	d, err := assemblePadded(g, plan, virtOut, innerCost, psiCost, cost, s.Delta,
+		func(virt graph.NodeID, dilation int) int {
+			return (innerCost.Radius(virt) + 1) * (dilation + 1)
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -101,13 +124,30 @@ func (s *PaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, seed int6
 	return d, nil
 }
 
-// finishPadded runs steps 2-5 of the Lemma-4 pipeline from the Ψ outputs
-// onward: port validity, virtual contraction, inner simulation, and Σlist
-// expansion. Both the sequential oracle and the engine-backed solver call
-// it, which is what keeps their labelings byte-identical by construction.
-func finishPadded(g *graph.Graph, gadIn, piIn *lcl.Labeling, scope func(graph.EdgeID) bool,
-	psiOut *lcl.Labeling, inner lcl.Solver, delta int, seed int64,
-	psiCost *local.Cost, cost *local.Cost) (*Detail, error) {
+// paddedPlan carries the outputs of steps 2-3 of the Lemma-4 pipeline:
+// the port-validity labels and the contracted virtual graph. Both the
+// sequential oracle and the engine-backed solver build it through
+// planPadded, which is what keeps their structural decisions byte-
+// identical by construction; the inner solve itself (step 4) is the
+// one stage the two paths realize differently.
+type paddedPlan struct {
+	portErr   []lcl.Label
+	compValid []bool
+	compOf    []int
+	vg        *VirtualGraph
+	piIn      *lcl.Labeling
+	psiNode   []lcl.Label
+	scope     func(graph.EdgeID) bool
+	// dilation is the measured gadget dilation d, computed once here: it
+	// drives both the relay's super-round length and the charged cost,
+	// which must agree.
+	dilation int
+}
+
+// planPadded runs steps 2-3 from the Ψ outputs: port validity and the
+// virtual contraction.
+func planPadded(g *graph.Graph, gadIn, piIn *lcl.Labeling, scope func(graph.EdgeID) bool,
+	psiOut *lcl.Labeling, delta int) (*paddedPlan, error) {
 
 	n := g.NumNodes()
 
@@ -123,22 +163,32 @@ func finishPadded(g *graph.Graph, gadIn, piIn *lcl.Labeling, scope func(graph.Ed
 	if err != nil {
 		return nil, fmt.Errorf("padded solve: %w", err)
 	}
+	return &paddedPlan{
+		portErr:   portErr,
+		compValid: compValid,
+		compOf:    compOf,
+		vg:        vg,
+		piIn:      piIn,
+		psiNode:   psiOut.Node,
+		scope:     scope,
+		dilation:  maxGadgetEccentricity(g, scope, vg),
+	}, nil
+}
 
-	// Step 4: simulate the inner solver on H.
-	var virtOut *lcl.Labeling
-	innerCost := local.NewCost(vg.NumVirtualNodes())
-	if vg.NumVirtualNodes() > 0 {
-		virtOut, innerCost, err = inner.Solve(vg.H, vg.In, seed)
-		if err != nil {
-			return nil, fmt.Errorf("padded solve inner: %w", err)
-		}
-	}
+// assemblePadded runs step 5 from a virtual solution: expand the virtual
+// labels into Σlists and charge the simulation cost. simCharge reports
+// the post-Ψ rounds charged to the nodes of a valid gadget — the
+// analytical (T+1)(d+1) model for the oracle, the measured relay-session
+// length for the native-machine execution.
+func assemblePadded(g *graph.Graph, plan *paddedPlan, virtOut *lcl.Labeling,
+	innerCost *local.Cost, psiCost, cost *local.Cost, delta int,
+	simCharge func(virt graph.NodeID, dilation int) int) (*Detail, error) {
 
-	// Step 5: expand the virtual solution into Σlist labels and charge
-	// the simulation cost: each inner round crosses one gadget, so a
-	// node in a valid gadget pays (innerRounds+1)·(dilation+1) extra.
-	dilation := maxGadgetEccentricity(g, scope, vg)
-	out, err := expandVirtual(g, piIn, scope, portErr, psiOut.Node, vg, virtOut, delta)
+	n := g.NumNodes()
+	vg := plan.vg
+	scope := plan.scope
+	dilation := plan.dilation
+	out, err := expandVirtual(g, plan.piIn, scope, plan.portErr, plan.psiNode, vg, virtOut, delta)
 	if err != nil {
 		return nil, err
 	}
@@ -151,11 +201,9 @@ func finishPadded(g *graph.Graph, gadIn, piIn *lcl.Labeling, scope func(graph.Ed
 		}
 	}
 	for v := graph.NodeID(0); int(v) < n; v++ {
-		ci := compOf[v]
+		ci := plan.compOf[v]
 		if ci >= 0 && vg.Valid[ci] {
-			virt := vg.VirtOf[ci]
-			innerRounds := innerCost.Radius(virt)
-			cost.Charge(v, psiCost.Radius(v)+(innerRounds+1)*(dilation+1))
+			cost.Charge(v, psiCost.Radius(v)+simCharge(vg.VirtOf[ci], dilation))
 		}
 	}
 	return &Detail{

@@ -23,6 +23,25 @@
 // outputs are byte-identical for every Workers/Shards setting, including
 // the sequential reference path (Options.Sequential), which is preserved
 // as the differential-testing oracle.
+//
+// Two message planes share the graph's CSR topology (PortOffsets plus the
+// RouteTable slot permutation): the boxed plane above (Machine, opaque
+// Message values, nil = silence) and the typed zero-alloc plane
+// (TypedMachine[M], Core, Session in core.go), whose flat []M buffers
+// make the steady-state round loop allocation-free on the engine side.
+//
+// Invariants (pinned by the differential, determinism, and AllocsPerRun
+// tests):
+//
+//   - Byte-identity: outputs, Stats.Rounds, and Stats.Deliveries are
+//     identical for every Workers/Shards setting and for the pooled and
+//     inline modes.
+//   - Seed-pinned randomness: per-node RNGs derive from
+//     (master seed, node identifier) via DeriveRNG, never from worker or
+//     shard state.
+//   - 0 allocs/op steady state: after Session setup, Step allocates
+//     nothing (and well-behaved typed machines keep the machine side at
+//     zero too).
 package engine
 
 import (

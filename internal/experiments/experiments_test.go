@@ -10,8 +10,8 @@ func TestAllQuickExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(results))
+	if len(results) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {
@@ -26,7 +26,7 @@ func TestAllQuickExperiments(t *testing.T) {
 			t.Errorf("experiment %q table not rendered", r.ID)
 		}
 	}
-	for _, id := range []string{"E-F1", "E-F2", "E-F3", "E-F4", "E-F5", "E-F6", "E-F7", "E-F8", "E-T1", "E-T6", "E-T11", "E-E1", "E-A1", "E-A2", "E-D1", "E-L1", "E-A3", "E-A4"} {
+	for _, id := range []string{"E-F1", "E-F2", "E-F3", "E-F4", "E-F5", "E-F6", "E-F7", "E-F8", "E-T1", "E-T6", "E-T11", "E-E1", "E-E2", "E-A1", "E-A2", "E-D1", "E-L1", "E-A3", "E-A4"} {
 		if !seen[id] {
 			t.Errorf("missing experiment %q", id)
 		}

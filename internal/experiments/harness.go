@@ -31,6 +31,7 @@ func Registry() []Experiment {
 		{ID: "E-T6", Run: Thm6GadgetFamily},
 		{ID: "E-T11", Run: Thm11Hierarchy},
 		{ID: "E-E1", Run: EnginePaddedParity},
+		{ID: "E-E2", Run: RelayDeliveryComparison},
 		{ID: "E-A1", Run: AblationBalance},
 		{ID: "E-A2", Run: AblationRandRepair},
 		{ID: "E-D1", Run: DiscussionNetDecomp},

@@ -39,6 +39,12 @@ func Builtins() []*Spec {
 				{Name: "padded-engine", Family: PaddedFamily, Solver: "pi2-det",
 					Sizes: []int{12}, Seeds: []int64{1},
 					Engine: EngineParams{Workers: 2, Shards: 8}},
+				// padded-oracle is the sequential Lemma-4 reference on the
+				// same cell: its checksum must equal padded-engine's, making
+				// the native-machine ≡ oracle parity visible in every CI
+				// report.
+				{Name: "padded-oracle", Family: PaddedFamily, Solver: "pi2-det-oracle",
+					Sizes: []int{12}, Seeds: []int64{1}},
 			},
 		},
 		{
@@ -125,6 +131,24 @@ func Builtins() []*Spec {
 				{Name: "pi2-rand-sharded", Family: PaddedFamily, Solver: "pi2-rand",
 					Sizes: quick.PaddedBases, Seeds: []int64{1, 2},
 					Engine: EngineParams{Workers: 2, Shards: 16}},
+			},
+		},
+		{
+			// padded-nightly is the full-scale padded trajectory (ROADMAP's
+			// BENCH item): balanced instances up to base 128 (N ≈ 16k),
+			// native-machine det and rand plus one oracle column for
+			// checksum parity. It is scheduled by the nightly CI job — too
+			// slow for the per-push bench-smoke.
+			Name: "padded-nightly",
+			Scenarios: []Scenario{
+				{Name: "pi2-det-nightly", Family: PaddedFamily, Solver: "pi2-det",
+					Sizes: full.PaddedBases, Seeds: []int64{1, 2},
+					Engine: EngineParams{Workers: 2, Shards: 32}},
+				{Name: "pi2-rand-nightly", Family: PaddedFamily, Solver: "pi2-rand",
+					Sizes: full.PaddedBases, Seeds: []int64{1, 2},
+					Engine: EngineParams{Workers: 2, Shards: 32}},
+				{Name: "pi2-det-oracle-nightly", Family: PaddedFamily, Solver: "pi2-det-oracle",
+					Sizes: full.PaddedBases, Seeds: []int64{1, 2}},
 			},
 		},
 		{

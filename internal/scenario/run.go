@@ -18,6 +18,15 @@ type RunOptions struct {
 	// 1 unless the scenario's engine parameters raise them, so the two
 	// layers do not multiply into oversubscription by default.
 	GridWorkers int
+	// GridWorkersExplicit records that GridWorkers came from an explicit
+	// user request (the -workers flag) rather than an adaptive default.
+	// Precedence is fixed: a scenario's engine.workers always governs the
+	// engine layer inside its cells, and GridWorkers only the grid layer.
+	// When both are explicitly > 1 the two requests multiply into
+	// oversubscription, so Run rejects the combination loudly instead of
+	// silently degrading — mirroring how ShardOverride errors when it
+	// cannot take effect.
+	GridWorkersExplicit bool
 	// ShardOverride overrides every scenario's engine shard count
 	// (0 keeps spec values). Outputs are identical either way. Overriding
 	// a spec with no engine-aware scenario is an error: the flag could
@@ -36,6 +45,14 @@ type RunOptions struct {
 func Run(spec *Spec, opts RunOptions) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.GridWorkersExplicit && opts.GridWorkers > 1 {
+		for i := range spec.Scenarios {
+			if w := spec.Scenarios[i].Engine.Workers; w > 1 {
+				return nil, fmt.Errorf("grid -workers %d conflicts with scenario %q pinning engine workers %d: exactly one layer may parallelize; pass -workers 1 to honor the spec's engine workers, or drop the scenario's engine pin",
+					opts.GridWorkers, spec.Scenarios[i].Name, w)
+			}
+		}
 	}
 	if opts.ShardOverride > 0 {
 		anyEngine := false

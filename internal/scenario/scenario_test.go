@@ -109,6 +109,33 @@ func TestRunShardOverrideErrorsWithoutEngine(t *testing.T) {
 	}
 }
 
+// TestRunGridWorkersConflict: an explicitly requested grid width > 1
+// conflicts loudly with a spec that pins engine workers > 1 per cell
+// (both layers would parallelize); the adaptive default and an explicit
+// width of 1 remain valid, as does an explicit width against specs that
+// leave engine workers unpinned.
+func TestRunGridWorkersConflict(t *testing.T) {
+	pinned, _ := Builtin("ci-smoke") // pins engine workers in several cells
+	_, err := Run(pinned, RunOptions{GridWorkers: 4, GridWorkersExplicit: true})
+	if err == nil {
+		t.Fatal("explicit grid workers against an engine-pinning spec accepted")
+	}
+	want := `grid -workers 4 conflicts with scenario "cv-cycles" pinning engine workers 2: exactly one layer may parallelize; pass -workers 1 to honor the spec's engine workers, or drop the scenario's engine pin`
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err, want)
+	}
+	if _, err := Run(pinned, RunOptions{GridWorkers: 4}); err != nil {
+		t.Fatalf("adaptive grid width rejected: %v", err)
+	}
+	if _, err := Run(pinned, RunOptions{GridWorkers: 1, GridWorkersExplicit: true}); err != nil {
+		t.Fatalf("explicit single-worker grid rejected: %v", err)
+	}
+	unpinned, _ := Builtin("cycles")
+	if _, err := Run(unpinned, RunOptions{GridWorkers: 4, GridWorkersExplicit: true}); err != nil {
+		t.Fatalf("explicit grid width against unpinned spec rejected: %v", err)
+	}
+}
+
 // TestRunTimingMode: timing adds wall_nanos and is excluded by default.
 func TestRunTimingMode(t *testing.T) {
 	spec := &Spec{Name: "t", Scenarios: []Scenario{{

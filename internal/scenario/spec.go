@@ -3,7 +3,22 @@
 // parameters; the runner fans the grid through the sharded engine (via
 // measure.ParallelCells) and emits a structured, machine-readable report
 // whose canonical JSON is byte-identical across runs and worker counts —
-// the format CI records as a per-commit benchmark artifact.
+// the format CI records as a per-commit benchmark artifact. The report
+// schema (locallab.report/v1) is documented in docs/REPORT_SCHEMA.md.
+//
+// Invariants:
+//
+//   - Canonical report ordering: scenarios in spec order, cells in
+//     size-major (size × seed) grid order, fixed JSON field order,
+//     two-space indent, trailing newline.
+//   - Byte-identity: every report field except the opt-in wall_nanos is
+//     deterministic for the spec — independent of grid workers, engine
+//     workers/shards, and scheduling — so whole reports can be cmp'd.
+//   - Loud failure: spec validation rejects unknown fields and names
+//     with exact, tested error messages, and runtime flags that cannot
+//     take effect (shard overrides without an engine-aware scenario, an
+//     explicit grid width conflicting with spec-pinned engine workers)
+//     are errors, never silent no-ops.
 package scenario
 
 import (

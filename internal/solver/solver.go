@@ -9,9 +9,29 @@
 // The registry collapses the former split between "engine-aware" and
 // "padded" solver worlds: padded entries construct their hierarchy
 // instances and run the whole Lemma-4 pipeline on the sharded engine
-// (core.EnginePaddedSolver), honoring the same engine parameters as every
-// other message-passing entry and reporting real engine.Stats delivery
-// counts.
+// (core.EnginePaddedSolver) — including the inner algorithm as native
+// machines over the payload relay plane — honoring the same engine
+// parameters as every other message-passing entry and reporting real
+// engine.Stats delivery counts. The sequential Lemma-4 reference is
+// exposed as the pi2-*-oracle entries; their checksums must equal the
+// native entries' cell for cell.
+//
+// Invariants:
+//
+//   - Byte-identity: every Outcome field except G/In/Out/Cost is
+//     deterministic for its Request — identical across engine
+//     worker/shard settings — which is what makes scenario reports
+//     byte-diffable.
+//   - Checksums fingerprint verified outputs only: every Run verifies
+//     against the problem before fingerprinting, so two equal checksums
+//     mean two identical, correct labelings.
+//   - Loud failure at the declaration layer: family/solver constraint
+//     violations (CycleOnly, Padded) are errors with stable messages,
+//     and the CLIs and spec validator reject engine parameters aimed at
+//     engine-unaware entries. Request.Engine itself is advisory: entries
+//     that do not execute on the engine ignore it (callers that need
+//     loud rejection validate through CheckFamily and the scenario
+//     validator, as cmd/lcl-run and internal/scenario do).
 package solver
 
 import (
@@ -100,6 +120,12 @@ type Entry struct {
 	// EngineAware marks solvers that execute on the sharded engine and
 	// honor a request's engine parameters.
 	EngineAware bool
+	// Oracle marks sequential reference entries: centralized executions
+	// kept as differential baselines for a native engine entry. Oracle
+	// entries are exempt from the "padded entries run on the engine"
+	// invariant and must fingerprint identically to their native
+	// counterpart cell for cell.
+	Oracle bool
 
 	// Run measures one grid cell: build the instance, solve, verify, and
 	// fingerprint.
@@ -154,8 +180,51 @@ func lclRun(req Request, s lcl.Solver, p lcl.Problem) (*Outcome, error) {
 	}, nil
 }
 
+// paddedOracleRun builds a balanced level-2 instance and runs the
+// sequential Lemma-4 oracle (centralized Ψ walk + one centralized inner
+// Solve call) on it: the reference the native-machine entries are
+// differential-tested against. Oracle entries are not engine-aware; their
+// checksums must equal the corresponding pi2-* entries' cell for cell.
+func paddedOracleRun(pick func(lvl *core.Level) lcl.Solver) func(Request) (*Outcome, error) {
+	return func(req Request) (*Outcome, error) {
+		lvl, err := core.NewLevel(2)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := pick(lvl).(*core.PaddedSolver)
+		if !ok {
+			return nil, fmt.Errorf("level 2 has no sequential padded solver")
+		}
+		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.SolveDetailed(inst.G, inst.In, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := lvl.Verify(inst.G, inst.In, d.Out); err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		return &Outcome{
+			Nodes:    inst.G.NumNodes(),
+			Edges:    inst.G.NumEdges(),
+			Rounds:   d.Cost.Rounds(),
+			Checksum: LabelingChecksum(d.Out),
+			G:        inst.G,
+			In:       inst.In,
+			Out:      d.Out,
+			Cost:     d.Cost,
+			Padded:   d,
+			Instance: inst,
+		}, nil
+	}
+}
+
 // paddedRun builds a balanced level-2 instance and runs the engine-backed
-// hierarchy solver on it.
+// hierarchy solver on it: the whole Lemma-4 pipeline — Ψ fixpoint
+// machines and the inner algorithm as native machines over the payload
+// relay plane — executes on the sharded engine.
 func paddedRun(pick func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver) func(Request) (*Outcome, error) {
 	return func(req Request) (*Outcome, error) {
 		lvl, err := core.NewLevel(2)
@@ -322,6 +391,22 @@ func Registry() []Entry {
 			Padded:        true,
 			EngineAware:   true,
 			Run:           paddedRun(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return rnd }),
+		},
+		{
+			Name:          "pi2-det-oracle",
+			Description:   "Π₂ sequential Lemma-4 oracle, deterministic — reference for the native-machine pi2-det (identical checksums)",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			Oracle:        true,
+			Run:           paddedOracleRun(func(lvl *core.Level) lcl.Solver { return lvl.Det }),
+		},
+		{
+			Name:          "pi2-rand-oracle",
+			Description:   "Π₂ sequential Lemma-4 oracle, randomized — reference for the native-machine pi2-rand (identical checksums)",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			Oracle:        true,
+			Run:           paddedOracleRun(func(lvl *core.Level) lcl.Solver { return lvl.Rand }),
 		},
 	}
 }

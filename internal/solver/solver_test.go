@@ -6,6 +6,46 @@ import (
 	"locallab/internal/engine"
 )
 
+// TestOracleEntriesMatchNativeChecksums: the sequential-oracle registry
+// entries and the native-machine engine entries must fingerprint the
+// same labelings cell for cell — the registry-level face of the
+// native-inner differential tests.
+func TestOracleEntriesMatchNativeChecksums(t *testing.T) {
+	for _, pair := range [][2]string{
+		{"pi2-det", "pi2-det-oracle"},
+		{"pi2-rand", "pi2-rand-oracle"},
+	} {
+		native, ok := ByName(pair[0])
+		if !ok {
+			t.Fatalf("entry %q missing", pair[0])
+		}
+		oracle, ok := ByName(pair[1])
+		if !ok {
+			t.Fatalf("entry %q missing", pair[1])
+		}
+		req := Request{Family: PaddedFamily, N: 12, Seed: 3}
+		no, err := native.Run(Request{Family: req.Family, N: req.N, Seed: req.Seed,
+			Engine: engine.New(engine.Options{Workers: 2, Shards: 8})})
+		if err != nil {
+			t.Fatalf("%s: %v", pair[0], err)
+		}
+		oo, err := oracle.Run(req)
+		if err != nil {
+			t.Fatalf("%s: %v", pair[1], err)
+		}
+		if no.Checksum != oo.Checksum {
+			t.Fatalf("%s checksum %016x differs from %s checksum %016x",
+				pair[0], no.Checksum, pair[1], oo.Checksum)
+		}
+		if no.Stats.Deliveries <= 0 {
+			t.Fatalf("%s: native entry reported no deliveries", pair[0])
+		}
+		if oo.Stats.Deliveries != 0 {
+			t.Fatalf("%s: oracle entry reported engine deliveries", pair[1])
+		}
+	}
+}
+
 func TestRegistryShape(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range Registry() {
@@ -16,8 +56,13 @@ func TestRegistryShape(t *testing.T) {
 			t.Errorf("duplicate entry %q", e.Name)
 		}
 		seen[e.Name] = true
-		if e.Padded && !e.EngineAware {
+		// Padded entries run on the engine, except the sequential-oracle
+		// references (marked by the explicit Oracle attribute).
+		if e.Padded && !e.EngineAware && !e.Oracle {
 			t.Errorf("entry %q: padded entries must run on the engine", e.Name)
+		}
+		if e.Oracle && e.EngineAware {
+			t.Errorf("entry %q: oracle entries are sequential references and must not be engine-aware", e.Name)
 		}
 		if err := e.CheckFamily(e.DefaultFamily); err != nil {
 			t.Errorf("entry %q rejects its own default family: %v", e.Name, err)

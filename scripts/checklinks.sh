@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# checklinks.sh — verify that every relative markdown link in the given
+# files points at an existing file or directory. External (http/https/
+# mailto) links and pure #anchors are skipped; a trailing #anchor on a
+# relative link is stripped before the existence check. Exits non-zero
+# listing every broken link. Used by the CI docs job:
+#
+#   scripts/checklinks.sh README.md docs/*.md
+set -u
+fail=0
+for f in "$@"; do
+  if [ ! -f "$f" ]; then
+    echo "checklinks: no such file: $f" >&2
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$f")
+  # Extract ](target) occurrences, one per line, tolerating several
+  # links per line.
+  targets=$(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//')
+  while IFS= read -r t; do
+    [ -z "$t" ] && continue
+    case "$t" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${t%%#*}
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "checklinks: $f: broken link -> $t" >&2
+      fail=1
+    fi
+  done <<EOF
+$targets
+EOF
+done
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "checklinks: all relative links resolve"
