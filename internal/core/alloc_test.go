@@ -108,7 +108,7 @@ func newRelaySession(tb testing.TB, opts engine.Options) *engine.Session[relayMs
 	scope := GadScope(inst.G, inst.In)
 	table := NewFactTable(d.Virtual)
 	machines, _ := buildRelayMachines(inst.G, scope, d.Virtual, table,
-		GatherFactory(sinkless.NewDetSolver()), d.Dilation, 5)
+		GatherFactory(sinkless.NewDetSolver()), d.Dilation, nil, 5)
 	pinned := make([]pinnedRelay, len(machines))
 	typed := make([]engine.TypedMachine[relayMsg], len(machines))
 	for v := range machines {
@@ -152,6 +152,90 @@ func TestRelayMachineSteadyStateAllocs(t *testing.T) {
 // end-to-end on a balanced Π₂ instance; it must report 0 allocs/op.
 func BenchmarkRelayMachineSteadyState(b *testing.B) {
 	sess := newRelaySession(b, engine.Options{})
+	defer sess.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Step()
+	}
+}
+
+// pinnedNative delegates to the production natMachine (including the
+// hosted port machine at gadget hosts) but never reports done, keeping
+// slot merging, protocol rounds, and record forwarding inside the
+// measured window.
+type pinnedNative struct{ natMachine }
+
+func (m *pinnedNative) Round(recv, send []natMsg) bool {
+	m.natMachine.Round(recv, send)
+	return false
+}
+
+// newNativeSession builds a native-relay session on a balanced Π₂
+// instance, reset and stepped into steady state.
+func newNativeSession(tb testing.TB, opts engine.Options) *engine.Session[natMsg] {
+	tb.Helper()
+	inst, err := BuildInstance(2, InstanceOptions{BaseNodes: 24, Seed: 5, Balanced: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := NewEnginePaddedSolver(sinkless.NewMessageSolver(), 3, engine.New(engine.Options{Sequential: true}))
+	d, err := s.SolveDetailed(inst.G, inst.In, 5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	scope := GadScope(inst.G, inst.In)
+	table := NewFactTable(d.Virtual)
+	mk := nativeFactoryFor(sinkless.NewMessageSolver(), d.Virtual)
+	if mk == nil {
+		tb.Fatal("no native factory for the message solver")
+	}
+	machines, _, _, err := buildNativeMachines(inst.G, scope, d.Virtual, table, mk, 5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pinned := make([]pinnedNative, len(machines))
+	typed := make([]engine.TypedMachine[natMsg], len(machines))
+	for v := range machines {
+		pinned[v] = pinnedNative{machines[v]}
+		typed[v] = &pinned[v]
+	}
+	sess, err := engine.NewCore[natMsg](opts).NewSession(inst.G, typed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sess.Reset(1, false)
+	for i := 0; i < 4; i++ {
+		sess.Step()
+	}
+	return sess
+}
+
+// TestNativeMachineSteadyStateAllocs pins the native-relay round loop —
+// record merging, the hosted protocol rounds, and change-only slot
+// forwarding — to zero allocations in both execution modes.
+func TestNativeMachineSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts engine.Options
+	}{
+		{"inline", engine.Options{Sequential: true}},
+		{"pooled", engine.Options{Workers: 4, Shards: 16}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			sess := newNativeSession(t, mode.opts)
+			defer sess.Close()
+			if allocs := testing.AllocsPerRun(64, func() { sess.Step() }); allocs != 0 {
+				t.Fatalf("steady-state native round allocates %v times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkNativeMachineSteadyState measures one native-relay round
+// end-to-end on a balanced Π₂ instance; it must report 0 allocs/op.
+func BenchmarkNativeMachineSteadyState(b *testing.B) {
+	sess := newNativeSession(b, engine.Options{})
 	defer sess.Close()
 	b.ReportAllocs()
 	b.ResetTimer()

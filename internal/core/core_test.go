@@ -21,7 +21,7 @@ func buildBase(t *testing.T, n int, seed int64) *graph.Graph {
 
 func TestComposeSplitRoundTrip(t *testing.T) {
 	f := func(a, b string) bool {
-		parts, err := Split(Compose(lcl.Label(a), lcl.Label(b)), 2)
+		parts, err := Split(mustCompose(t, lcl.Label(a), lcl.Label(b)), 2)
 		if err != nil {
 			return false
 		}
@@ -31,8 +31,8 @@ func TestComposeSplitRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Nested composition survives.
-	inner := Compose("x", "y")
-	outer := Compose(inner, "z")
+	inner := mustCompose(t, "x", "y")
+	outer := mustCompose(t, inner, "z")
 	parts, err := Split(outer, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +52,7 @@ func TestSigmaListRoundTrip(t *testing.T) {
 	sl.IE[0], sl.IB[0] = "e1", "b1"
 	sl.IE[2], sl.IB[2] = "e3", "b3"
 	sl.OV = "ov"
-	got, err := DecodeSigmaList(sl.Encode(), 3)
+	got, err := DecodeSigmaList(mustEncode(t, sl), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +64,11 @@ func TestSigmaListRoundTrip(t *testing.T) {
 	}
 	// Bad S orderings rejected.
 	sl.S = []int{3, 1}
-	if _, err := DecodeSigmaList(sl.Encode(), 3); err == nil {
+	if _, err := DecodeSigmaList(mustEncode(t, sl), 3); err == nil {
 		t.Error("descending S accepted")
 	}
 	sl.S = []int{0}
-	if _, err := DecodeSigmaList(sl.Encode(), 3); err == nil {
+	if _, err := DecodeSigmaList(mustEncode(t, sl), 3); err == nil {
 		t.Error("port 0 accepted")
 	}
 }
@@ -270,11 +270,11 @@ func TestCheckerRejectsPaddedCheating(t *testing.T) {
 	someNode := pi.NodesOf[0][1]
 	mutate("claim-error-on-valid-gadget", func(c *lcl.Labeling) {
 		parts, _ := Split(c.Node[someNode], outNodeParts)
-		c.Node[someNode] = Compose(parts[0], parts[1], errorproof.LabError)
+		c.Node[someNode] = mustCompose(t, parts[0], parts[1], errorproof.LabError)
 	})
 	mutate("port-err1-between-valid", func(c *lcl.Labeling) {
 		parts, _ := Split(c.Node[somePort], outNodeParts)
-		c.Node[somePort] = Compose(parts[0], PortErr1, parts[2])
+		c.Node[somePort] = mustCompose(t, parts[0], PortErr1, parts[2])
 	})
 	mutate("flip-virtual-orientation-one-side", func(c *lcl.Labeling) {
 		// Corrupt one port's OB entry: the virtual edge constraint or OE
@@ -289,7 +289,7 @@ func TestCheckerRejectsPaddedCheating(t *testing.T) {
 		} else {
 			sl.OB[0] = string(sinkless.LabelOut)
 		}
-		lab := Compose(sl.Encode(), parts[1], parts[2])
+		lab := mustCompose(t, mustEncode(t, sl), parts[1], parts[2])
 		// Apply to every node of the gadget to survive the GadEdge
 		// equality check.
 		for _, v := range pi.NodesOf[0] {
@@ -318,7 +318,7 @@ func TestCheckerRejectsPaddedCheating(t *testing.T) {
 			t.Fatal(err)
 		}
 		sl.IV = "tampered"
-		c.Node[someNode] = Compose(sl.Encode(), parts[1], parts[2])
+		c.Node[someNode] = mustCompose(t, mustEncode(t, sl), parts[1], parts[2])
 	})
 }
 
@@ -423,4 +423,24 @@ func TestMixedGadgetHeights(t *testing.T) {
 	if d := pi.Dilation(); d < 6 {
 		t.Errorf("mixed-height dilation = %d, want >= 6", d)
 	}
+}
+
+// mustCompose and mustEncode wrap the error-returning serialization
+// helpers for tests building known-good labels.
+func mustCompose(t *testing.T, parts ...lcl.Label) lcl.Label {
+	t.Helper()
+	lab, err := Compose(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab
+}
+
+func mustEncode(t *testing.T, sl *SigmaList) lcl.Label {
+	t.Helper()
+	lab, err := sl.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab
 }

@@ -18,6 +18,14 @@ import (
 type EngineRunStats struct {
 	Psi   engine.Stats
 	Relay engine.Stats
+	// RelayWords is the relay session's bandwidth: payload words handed to
+	// the transport, counted at the senders (RelayRun.Words). Native
+	// executions move O(1) words per virtual edge per protocol round;
+	// gather executions move knowledge vectors every physical round.
+	RelayWords int64
+	// RelayNative records whether the relay session ran native
+	// constant-bandwidth port machines (true) or gather machines (false).
+	RelayNative bool
 }
 
 // Rounds is the total measured physical rounds of the solve.
@@ -45,6 +53,10 @@ type EnginePaddedSolver struct {
 	Inner lcl.Solver
 	// Engine configures the worker pool; nil uses the package defaults.
 	Engine *engine.Engine
+	// ForceGather disables native port-machine selection, running the
+	// inner solver over gather machines even when a native protocol
+	// exists. Benchmarks use it to compare the two relay executions.
+	ForceGather bool
 	// LastStats is the engine profile of the most recent Solve.
 	LastStats EngineRunStats
 }
@@ -101,17 +113,26 @@ func (s *EnginePaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, see
 		return nil, err
 	}
 
-	// Step 4, native style: the inner algorithm runs as virtual machines
-	// over the payload relay plane — its per-virtual-edge messages
-	// flood-forwarded through the gadget interiors, one virtual hop per
-	// super-round, with per-virtual-node RNG streams pinned by virtual
-	// identifier so every worker/shard geometry produces the same bytes.
+	// Step 4: the inner algorithm runs over the relay plane. Inners with a
+	// native constant-bandwidth protocol (nativeFactoryFor) run as port
+	// machines — O(1) words per virtual edge per protocol round, slot-
+	// routed host-to-port transport (native.go); everything else falls
+	// back to gather machines flooding knowledge vectors (relay.go). Both
+	// pin per-virtual-node RNG streams by virtual identifier, so every
+	// worker/shard geometry — and both executions — produce the same
+	// bytes.
 	stats := EngineRunStats{Psi: psiStats}
 	var virtOut *lcl.Labeling
 	innerCost := local.NewCost(plan.vg.NumVirtualNodes())
 	if plan.vg.NumVirtualNodes() > 0 {
 		table := NewFactTable(plan.vg)
-		relay, err := RunRelay(s.Engine, g, scope, plan.vg, table, GatherFactory(s.Inner), plan.dilation, seed)
+		var relay *RelayRun
+		if nmk := nativeFactoryFor(s.Inner, plan.vg); nmk != nil && !s.ForceGather {
+			relay, err = RunRelayNative(s.Engine, g, scope, plan.vg, table, nmk, seed)
+			stats.RelayNative = true
+		} else {
+			relay, err = RunRelay(s.Engine, g, scope, plan.vg, table, GatherFactory(s.Inner), plan.dilation, plan.compEcc, seed)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("engine padded solve: %w", err)
 		}
@@ -120,6 +141,7 @@ func (s *EnginePaddedSolver) SolveDetailed(g *graph.Graph, in *lcl.Labeling, see
 			innerCost.Charge(graph.NodeID(vi), r)
 		}
 		stats.Relay = relay.Stats
+		stats.RelayWords = relay.Words
 	}
 
 	// Step 5: shared assembly; every valid-gadget node is charged the

@@ -121,7 +121,7 @@ func TestPaddedOutputFuzzing(t *testing.T) {
 	}
 	pool := []lcl.Label{
 		"", LabPsiEdge, PortErr1, PortErr2, NoPortErr, "GadOk", "Error",
-		Compose("", "x", ""), out.Node[0], out.Node[len(out.Node)/2],
+		mustCompose(t, "", "x", ""), out.Node[0], out.Node[len(out.Node)/2],
 	}
 	rng := newTestRNG(5)
 	rejected, tried := 0, 0

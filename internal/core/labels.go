@@ -60,18 +60,19 @@ const LabPsiEdge lcl.Label = "psi-ok"
 
 // Compose packs component labels into one label; Split unpacks. JSON
 // arrays keep nesting safe: composite labels of level i embed composite
-// labels of level i-1 without escaping issues.
-func Compose(parts ...lcl.Label) lcl.Label {
+// labels of level i-1 without escaping issues. Marshal failures (only
+// reachable through invalid UTF-8 smuggled into labels) are returned,
+// not panicked, so malformed instance inputs surface as messages.
+func Compose(parts ...lcl.Label) (lcl.Label, error) {
 	ss := make([]string, len(parts))
 	for i, p := range parts {
 		ss[i] = string(p)
 	}
 	b, err := json.Marshal(ss)
 	if err != nil {
-		// Strings always marshal; defensive.
-		panic(fmt.Sprintf("compose label: %v", err))
+		return "", fmt.Errorf("compose label: %w", err)
 	}
-	return lcl.Label(b)
+	return lcl.Label(b), nil
 }
 
 // Split unpacks a composite label into exactly n parts.
@@ -132,13 +133,14 @@ func NewSigmaList(delta int) *SigmaList {
 	}
 }
 
-// Encode renders the Σlist as a label.
-func (sl *SigmaList) Encode() lcl.Label {
+// Encode renders the Σlist as a label. Marshal failures are returned,
+// not panicked, mirroring Compose.
+func (sl *SigmaList) Encode() (lcl.Label, error) {
 	b, err := json.Marshal(sl)
 	if err != nil {
-		panic(fmt.Sprintf("encode sigma list: %v", err))
+		return "", fmt.Errorf("encode sigma list: %w", err)
 	}
-	return lcl.Label(b)
+	return lcl.Label(b), nil
 }
 
 // DecodeSigmaList parses a Σlist label, validating slot widths against Δ.

@@ -141,6 +141,17 @@ func BuildPadded(base *graph.Graph, baseIn *lcl.Labeling, opts PadOptions) (*Pad
 	nodeLabels := make(map[graph.NodeID]lcl.Label, total)
 	var nextID int64 = 1
 
+	// compose is Compose in sticky-error form for this construction loop;
+	// the first failure is surfaced once, after assembly.
+	var composeErr error
+	compose := func(parts ...lcl.Label) lcl.Label {
+		lab, err := Compose(parts...)
+		if err != nil && composeErr == nil {
+			composeErr = err
+		}
+		return lab
+	}
+
 	for _, bv := range order {
 		proto, err := protoFor(bv)
 		if err != nil {
@@ -149,7 +160,7 @@ func BuildPadded(base *graph.Graph, baseIn *lcl.Labeling, opts PadOptions) (*Pad
 		perGadget := proto.NumNodes()
 		m := make([]graph.NodeID, perGadget)
 		for x := graph.NodeID(0); int(x) < perGadget; x++ {
-			m[x] = b.MustAddNode(nextID)
+			m[x] = b.Node(nextID)
 			nextID++
 		}
 		for e := graph.EdgeID(0); int(e) < proto.G.NumEdges(); e++ {
@@ -169,7 +180,7 @@ func BuildPadded(base *graph.Graph, baseIn *lcl.Labeling, opts PadOptions) (*Pad
 			if proto.Ports[0] == x {
 				pi = baseIn.Node[bv] // the virtual node's input lives on Port1
 			}
-			nodeLabels[m[x]] = Compose(pi, proto.In.Node[x])
+			nodeLabels[m[x]] = compose(pi, proto.In.Node[x])
 		}
 		nodes := make([]graph.NodeID, perGadget)
 		copy(nodes, m)
@@ -206,9 +217,9 @@ func BuildPadded(base *graph.Graph, baseIn *lcl.Labeling, opts PadOptions) (*Pad
 
 	// Isolated padding nodes (Lemma 5's H'').
 	for i := 0; i < opts.IsolatedPadding; i++ {
-		v := b.MustAddNode(nextID)
+		v := b.Node(nextID)
 		nextID++
-		nodeLabels[v] = Compose("", gadget.NodeInput{Index: 1}.Label())
+		nodeLabels[v] = compose("", gadget.NodeInput{Index: 1}.Label())
 		inst.Isolated = append(inst.Isolated, v)
 	}
 
@@ -222,16 +233,16 @@ func BuildPadded(base *graph.Graph, baseIn *lcl.Labeling, opts PadOptions) (*Pad
 	}
 	for i, ne := range gadEdges {
 		_ = i
-		in.Edge[ne] = Compose("", MarkGadEdge)
+		in.Edge[ne] = compose("", MarkGadEdge)
 	}
 	for _, lh := range gadHalves {
-		in.SetHalf(lh.h, Compose("", lh.lab))
+		in.SetHalf(lh.h, compose("", lh.lab))
 	}
 	for e := graph.EdgeID(0); int(e) < base.NumEdges(); e++ {
-		in.Edge[inst.PortEdges[e]] = Compose(baseIn.Edge[e], MarkPortEdge)
+		in.Edge[inst.PortEdges[e]] = compose(baseIn.Edge[e], MarkPortEdge)
 	}
 	for _, ph := range portHalves {
-		in.SetHalf(ph.h, Compose(ph.lab, ""))
+		in.SetHalf(ph.h, compose(ph.lab, ""))
 	}
 	inst.G = g
 	inst.In = in
@@ -246,8 +257,11 @@ func BuildPadded(base *graph.Graph, baseIn *lcl.Labeling, opts PadOptions) (*Pad
 			}
 			nodes := inst.NodesOf[bv]
 			victim := nodes[rng.Intn(len(nodes))]
-			in.Node[victim] = Compose("", lcl.Label("Index:999"))
+			in.Node[victim] = compose("", lcl.Label("Index:999"))
 		}
+	}
+	if composeErr != nil {
+		return nil, fmt.Errorf("build padded: %w", composeErr)
 	}
 	return inst, nil
 }

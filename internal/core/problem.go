@@ -324,10 +324,10 @@ func (p *PiPrime) CheckEdge(g *graph.Graph, in, out *lcl.Labeling, e graph.EdgeI
 func (p *PiPrime) starNodeCheck(sl *SigmaList) error {
 	deg := len(sl.S)
 	b := graph.NewBuilder(deg+1, deg)
-	center := b.MustAddNode(1)
+	center := b.Node(1)
 	for k := 0; k < deg; k++ {
-		leaf := b.MustAddNode(int64(k + 2))
-		b.MustAddEdge(center, leaf)
+		leaf := b.Node(int64(k + 2))
+		b.Link(center, leaf)
 	}
 	star, err := b.Build()
 	if err != nil {
@@ -352,9 +352,9 @@ func (p *PiPrime) starNodeCheck(sl *SigmaList) error {
 // bullet and runs Π's edge constraint on it.
 func (p *PiPrime) starEdgeCheck(slU *SigmaList, i int, slV *SigmaList, j int) error {
 	b := graph.NewBuilder(2, 1)
-	a := b.MustAddNode(1)
-	c := b.MustAddNode(2)
-	e := b.MustAddEdge(a, c)
+	a := b.Node(1)
+	c := b.Node(2)
+	e := b.Link(a, c)
 	pair, err := b.Build()
 	if err != nil {
 		return fmt.Errorf("pair: %w", err)

@@ -16,8 +16,10 @@ import (
 // per-virtual-edge payloads — knowledge word vectors over the instance's
 // FactTable — along the same routes: every physical round each node
 // floods its payload over gadget edges, and port nodes push it across
-// their virtual (port) edge on the first physical round of every
-// super-round, one virtual hop per d+1-round super-round.
+// their virtual (port) edge on a measured schedule — every physical
+// round when payloads are a single word, otherwise once per their own
+// gadget's eccentricity + 1 (computed at plan time), never slower than
+// the worst-gadget d+1-round super-round.
 //
 // Because payloads are OR-monotone broadcasts (the VirtualMachine
 // contract), in-flight merging is sound: a gadget interior node may
@@ -31,10 +33,11 @@ import (
 // gadget eccentricity bounds the dilation) hosts the gadget's
 // VirtualMachine and drives one machine round per super-round. The
 // session has no precomputed length: it terminates at the first round in
-// which every node has been payload-stable for a full super-round and
-// every hosted machine reports stabilization — between d+1 and roughly
-// 2(d+1) physical rounds per virtual hop, the same sandwich the mask
-// tests pin.
+// which every node has been payload-stable past its own crossing
+// interval and every hosted machine reports stabilization — never more
+// than roughly 2(d+1) physical rounds per virtual hop, the sandwich the
+// mask tests pin, and as little as one physical round per hop under the
+// single-word fast path.
 
 // relayMsg is the relay payload: a read-only view of the sender's
 // double-buffered knowledge words (nil on silent ports).
@@ -49,6 +52,11 @@ type relayMachine struct {
 	virt []int32
 	// superLen is d+1.
 	superLen int32
+	// crossEvery is the node's port-crossing interval: every physical
+	// round for single-word payloads, otherwise its own gadget's
+	// eccentricity + 1 (measured at plan time) — never more than
+	// superLen, which uses the worst gadget's eccentricity.
+	crossEvery int32
 	// init is the node's initial knowledge (nil outside valid gadgets).
 	init []uint64
 	// words is the current knowledge; out is the alternating send buffer
@@ -65,6 +73,10 @@ type relayMachine struct {
 
 	round  int32
 	stable int32
+	// sent counts the payload words this machine handed to the transport
+	// (per-machine so the tally needs no synchronization; the runner sums
+	// after the session, which is deterministic for every geometry).
+	sent int64
 }
 
 var _ engine.TypedMachine[relayMsg] = (*relayMachine)(nil)
@@ -72,6 +84,7 @@ var _ engine.TypedMachine[relayMsg] = (*relayMachine)(nil)
 func (m *relayMachine) Init(engine.NodeInfo) {
 	m.round = 0
 	m.stable = 0
+	m.sent = 0
 	m.vmDone = false
 	for i := range m.words {
 		m.words[i] = 0
@@ -104,11 +117,12 @@ func (m *relayMachine) Round(recv, send []relayMsg) bool {
 	} else {
 		m.stable++
 	}
-	boundary := (m.round-1)%m.superLen == 0
+	boundary := (m.round-1)%m.crossEvery == 0
 	if m.vm != nil && boundary {
-		// One virtual-machine round per super-round: the payloads that
-		// crossed the gadget's port edges have flooded to the leader by
-		// the next boundary.
+		// One virtual-machine round per crossing interval: the payloads
+		// that crossed the gadget's port edges have flooded to the leader
+		// by the next boundary. OR-monotone machines tolerate the faster
+		// cadence — extra calls merge nothing new.
 		m.vmDone = m.vm.Round(m.words, m.vmOut)
 		orInto(m.words, m.vmOut)
 	}
@@ -120,12 +134,20 @@ func (m *relayMachine) Round(recv, send []relayMsg) bool {
 	for _, p := range m.gad {
 		send[p] = relayMsg{Words: buf}
 	}
-	if boundary {
+	// Port crossings follow the node's own gadget's measured eccentricity
+	// (every round for single-word payloads), not the worst gadget's
+	// d+1-round super-round. Stopping stays safe under the faster
+	// schedule: a machine whose words changed has stable = 0, done
+	// requires stable > superLen ≥ crossEvery, so a session can never
+	// stop with uncrossed news at a port.
+	if (m.round-1)%m.crossEvery == 0 {
 		for _, p := range m.virt {
 			send[p] = relayMsg{Words: buf}
 		}
+		m.sent += int64(len(buf) * len(m.virt))
 	}
-	done := m.round > m.superLen && m.stable > m.superLen
+	m.sent += int64(len(buf) * len(m.gad))
+	done := m.round > m.superLen && m.stable > m.crossEvery
 	if m.vm != nil {
 		done = done && m.vmDone
 	}
@@ -143,6 +165,11 @@ type RelayRun struct {
 	// Stats is the engine profile of the physical session; Stats.Rounds
 	// is the real measured length of the relay.
 	Stats engine.Stats
+	// Words is the relay bandwidth: payload words handed to the transport
+	// over the whole session, counted at the senders (framing and
+	// addressing excluded), so the figure is what a delta wire encoding
+	// would move. Deterministic for every worker/shard geometry.
+	Words int64
 }
 
 // RunRelay executes the inner algorithm as native machines over the
@@ -152,13 +179,13 @@ type RelayRun struct {
 // the stabilized knowledge. It requires at least one valid gadget.
 func RunRelay(eng *engine.Engine, g *graph.Graph, scope func(graph.EdgeID) bool,
 	vg *VirtualGraph, table *FactTable, mk func(vi graph.NodeID) VirtualMachine,
-	dilation int, seed int64) (*RelayRun, error) {
+	dilation int, compEcc []int, seed int64) (*RelayRun, error) {
 
 	nv := vg.NumVirtualNodes()
 	if nv == 0 {
 		return nil, fmt.Errorf("run relay: no valid gadgets")
 	}
-	machines, vms := buildRelayMachines(g, scope, vg, table, mk, dilation, seed)
+	machines, vms := buildRelayMachines(g, scope, vg, table, mk, dilation, compEcc, seed)
 	superLen := machines[0].superLen
 	n := g.NumNodes()
 	typed := make([]engine.TypedMachine[relayMsg], n)
@@ -173,6 +200,9 @@ func RunRelay(eng *engine.Engine, g *graph.Graph, scope func(graph.EdgeID) bool,
 		return nil, fmt.Errorf("run relay: %w", err)
 	}
 	run := &RelayRun{Out: lcl.NewLabeling(vg.H), Rounds: make([]int, nv), Stats: stats}
+	for v := range machines {
+		run.Words += machines[v].sent
+	}
 	for vi := range vms {
 		if vms[vi] == nil {
 			return nil, fmt.Errorf("run relay: virtual node %d has no hosted machine", vi)
@@ -186,11 +216,14 @@ func RunRelay(eng *engine.Engine, g *graph.Graph, scope func(graph.EdgeID) bool,
 }
 
 // buildRelayMachines derives the per-physical-node relay configuration:
-// port lists, seeded knowledge, and the hosted virtual machine at each
-// valid gadget's leader node.
+// port lists, seeded knowledge, the crossing interval from the node's own
+// gadget's measured eccentricity, and the hosted virtual machine at each
+// valid gadget's leader node. compEcc holds the per-component leader
+// eccentricities measured at plan time (nil falls back to the global
+// super-round everywhere).
 func buildRelayMachines(g *graph.Graph, scope func(graph.EdgeID) bool,
 	vg *VirtualGraph, table *FactTable, mk func(vi graph.NodeID) VirtualMachine,
-	dilation int, seed int64) ([]relayMachine, []VirtualMachine) {
+	dilation int, compEcc []int, seed int64) ([]relayMachine, []VirtualMachine) {
 
 	superLen := superRoundLen(dilation)
 	n := g.NumNodes()
@@ -200,11 +233,17 @@ func buildRelayMachines(g *graph.Graph, scope func(graph.EdgeID) bool,
 	for v := graph.NodeID(0); int(v) < n; v++ {
 		m := &machines[v]
 		m.superLen = superLen
+		m.crossEvery = superLen
 		m.words = make([]uint64, words)
 		m.out = [2][]uint64{make([]uint64, words), make([]uint64, words)}
 		ci := vg.CompOf[v]
 		if ci >= 0 && vg.Valid[ci] && vg.VirtOf[ci] >= 0 {
 			vi := vg.VirtOf[ci]
+			if words == 1 {
+				m.crossEvery = 1
+			} else if compEcc != nil && ci < len(compEcc) && compEcc[ci] >= 0 {
+				m.crossEvery = int32(compEcc[ci] + 1)
+			}
 			m.init = make([]uint64, words)
 			table.SeedWords(vi, m.init)
 			if vg.Comps[ci][0] == v {

@@ -142,6 +142,10 @@ type paddedPlan struct {
 	// drives both the relay's super-round length and the charged cost,
 	// which must agree.
 	dilation int
+	// compEcc[ci] is component ci's measured leader eccentricity (-1 for
+	// invalid components): the per-gadget schedule the relay plane runs,
+	// of which dilation is the maximum.
+	compEcc []int
 }
 
 // planPadded runs steps 2-3 from the Ψ outputs: port validity and the
@@ -163,6 +167,22 @@ func planPadded(g *graph.Graph, gadIn, piIn *lcl.Labeling, scope func(graph.Edge
 	if err != nil {
 		return nil, fmt.Errorf("padded solve: %w", err)
 	}
+	// Per-gadget eccentricities, measured once at plan time: the relay
+	// plane schedules each gadget by its own eccentricity, and the
+	// maximum is the dilation d that the charged cost model uses.
+	compEcc := make([]int, len(vg.Comps))
+	dilation := 0
+	for ci, nodes := range vg.Comps {
+		compEcc[ci] = -1
+		if !vg.Valid[ci] {
+			continue
+		}
+		ecc := scopedEccentricity(g, scope, nodes[0])
+		compEcc[ci] = ecc
+		if ecc > dilation {
+			dilation = ecc
+		}
+	}
 	return &paddedPlan{
 		portErr:   portErr,
 		compValid: compValid,
@@ -171,7 +191,8 @@ func planPadded(g *graph.Graph, gadIn, piIn *lcl.Labeling, scope func(graph.Edge
 		piIn:      piIn,
 		psiNode:   psiOut.Node,
 		scope:     scope,
-		dilation:  maxGadgetEccentricity(g, scope, vg),
+		dilation:  dilation,
+		compEcc:   compEcc,
 	}, nil
 }
 
@@ -235,7 +256,11 @@ func expandVirtual(g *graph.Graph, piIn *lcl.Labeling, scope func(graph.EdgeID) 
 		if err != nil {
 			return nil, fmt.Errorf("padded solve: %w", err)
 		}
-		sigmaOf[ci] = sl.Encode()
+		enc, err := sl.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("padded solve: %w", err)
+		}
+		sigmaOf[ci] = enc
 	}
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
 		ci := vg.CompOf[v]
@@ -243,7 +268,11 @@ func expandVirtual(g *graph.Graph, piIn *lcl.Labeling, scope func(graph.EdgeID) 
 		if ci >= 0 && vg.Valid[ci] {
 			sigma = sigmaOf[ci]
 		}
-		out.Node[v] = Compose(sigma, portErr[v], psiNode[v])
+		lab, err := Compose(sigma, portErr[v], psiNode[v])
+		if err != nil {
+			return nil, fmt.Errorf("padded solve: %w", err)
+		}
+		out.Node[v] = lab
 	}
 	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
 		if scope(e) {

@@ -106,14 +106,14 @@ func testGraphs(t testing.TB) map[string]*graph.Graph {
 	// Loops and parallel edges are part of the model; route through them.
 	b := graph.NewBuilder(4, 6)
 	for i := int64(1); i <= 4; i++ {
-		b.MustAddNode(i * 10)
+		b.Node(i * 10)
 	}
-	b.MustAddEdge(0, 0) // self-loop
-	b.MustAddEdge(0, 1)
-	b.MustAddEdge(1, 2)
-	b.MustAddEdge(1, 2) // parallel edge
-	b.MustAddEdge(2, 3)
-	out["multigraph"] = b.MustBuild()
+	b.Link(0, 0) // self-loop
+	b.Link(0, 1)
+	b.Link(1, 2)
+	b.Link(1, 2) // parallel edge
+	b.Link(2, 3)
+	out["multigraph"] = mustBuild(b)
 	return out
 }
 
@@ -328,4 +328,14 @@ func ExampleEngine_Run() {
 	rounds, _ := engine.New(engine.Options{Workers: 2, Shards: 4}).Run(g, machines, 0, false, 10)
 	fmt.Println(rounds)
 	// Output: 3
+}
+
+// mustBuild finalizes a known-good test builder, panicking on the error
+// that the sticky-error API would otherwise surface to callers.
+func mustBuild(b *graph.Builder) *graph.Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
 }

@@ -226,16 +226,16 @@ func TestChainProofs(t *testing.T) {
 	// A hand-built fragment where the 2d walk does not close:
 	// v -Right-> r -LChild-> c -Left-> d -Parent-> e with e != v.
 	b := graph.NewBuilder(5, 4)
-	v := b.MustAddNode(1)
-	r := b.MustAddNode(2)
-	c := b.MustAddNode(3)
-	d := b.MustAddNode(4)
-	e := b.MustAddNode(5)
-	e1 := b.MustAddEdge(v, r)
-	e2 := b.MustAddEdge(r, c)
-	e3 := b.MustAddEdge(c, d)
-	e4 := b.MustAddEdge(d, e)
-	g := b.MustBuild()
+	v := b.Node(1)
+	r := b.Node(2)
+	c := b.Node(3)
+	d := b.Node(4)
+	e := b.Node(5)
+	e1 := b.Link(v, r)
+	e2 := b.Link(r, c)
+	e3 := b.Link(c, d)
+	e4 := b.Link(d, e)
+	g := mustBuild(b)
 	in := lcl.NewLabeling(g)
 	in.SetHalf(graph.Half{Edge: e1, Side: graph.SideU}, gadget.LabRight)
 	in.SetHalf(graph.Half{Edge: e1, Side: graph.SideV}, gadget.LabLeft)
@@ -322,4 +322,14 @@ func TestVerifierPsiValidUnderFuzzedInputs(t *testing.T) {
 			t.Fatalf("trial %d (label %q): Ψ rejected V's output: %v", trial, lab, err)
 		}
 	}
+}
+
+// mustBuild finalizes a known-good test builder, panicking on the error
+// that the sticky-error API would otherwise surface to callers.
+func mustBuild(b *graph.Builder) *graph.Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
 }

@@ -29,11 +29,25 @@ import (
 // Every predicate only flips false → true, so iterating to global
 // quiescence computes the least fixpoint — which equals the centralized
 // walk semantics of Run on every structure whose step edges are acyclic
-// (all members of the gadget family and all their label corruptions;
-// pointer-step cycles require topology rewiring that the family's tree
-// shape excludes). The machines detect quiescence locally: a round in
-// which no machine changed state is stable, and the engine's termination
-// barrier fires exactly there.
+// (all members of the gadget family and all their label corruptions).
+//
+// Pinned Ψ semantics on step cycles: adversarial input labelings can
+// close Right/Left/Parent/RChild steps into cycles, where the two
+// formulations differ at the predicate level — Run's walks carry a
+// visited set and stop on the first revisit, so the walk from w never
+// re-examines w itself, while the fixpoint propagates all the way around
+// a cycle and can set a predicate at its own seed (R(w) on a Right-cycle
+// through a bad w; A/RC at the unique lvl-node of a Parent/RChild
+// cycle). Every such divergence is masked by output priority: a
+// predicate can only diverge at a node where a strictly higher-priority
+// rule (bad ⇒ Error, or the node's own R/L ⇒ PtrRight/PtrLeft) already
+// fixes the output identically on both paths. Outputs therefore agree on
+// every input, cyclic or not — the contract the rewiring-adversary
+// regression test (TestPsiMachineMatchesVerifierRewired) pins.
+//
+// The machines detect quiescence locally: a round in which no machine
+// changed state is stable, and the engine's termination barrier fires
+// exactly there.
 //
 // Round accounting: on gadget-family instances the fixpoint converges
 // within the component diameter + 2 rounds, i.e. within the Lemma-10

@@ -1,0 +1,87 @@
+package errorproof
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"locallab/internal/engine"
+	"locallab/internal/gadget"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+// stepLabels are the pointer labels a rewiring adversary may forge.
+var stepLabels = []lcl.Label{
+	gadget.LabRight, gadget.LabLeft, gadget.LabParent, gadget.LabRChild,
+	gadget.HalfDown(1), gadget.HalfDown(2),
+}
+
+// comparePsiOutputs asserts byte-identical Ψ outputs between the
+// centralized walks and the machine fixpoint across the engine grid. It
+// deliberately does NOT assert the Lemma-10 radius bound: rewired step
+// cycles are outside the gadget family, so the fixpoint may legitimately
+// need up to the cycle length to converge — agreement of the outputs is
+// the pinned contract.
+func comparePsiOutputs(t *testing.T, name string, delta int, g *graph.Graph, in *lcl.Labeling) {
+	t.Helper()
+	vf := &Verifier{Delta: delta}
+	want, _, err := vf.Run(g, in, g.NumNodes())
+	if err != nil {
+		t.Fatalf("%s: centralized verifier: %v", name, err)
+	}
+	for _, opts := range psiEngineGrid {
+		got, _, _, err := vf.RunEngine(engine.New(opts), g, in, g.NumNodes())
+		if err != nil {
+			t.Fatalf("%s %+v: engine verifier: %v", name, opts, err)
+		}
+		for v := range want.Node {
+			if want.Node[v] != got.Node[v] {
+				t.Fatalf("%s %+v: node %d: centralized %q, engine %q — step-cycle semantics diverged",
+					name, opts, v, want.Node[v], got.Node[v])
+			}
+		}
+	}
+}
+
+// TestPsiMachineMatchesVerifierRewired is the rewiring-adversary
+// regression for the pinned step-cycle semantics (see the machine.go
+// package comment): an adversary that rewrites half-edge step labels can
+// close Right/Left/Parent/RChild pointers into cycles, where the walk
+// and fixpoint formulations differ at the predicate level. The outputs
+// must still agree exactly — every predicate divergence is masked by a
+// higher-priority output rule.
+func TestPsiMachineMatchesVerifierRewired(t *testing.T) {
+	for _, delta := range []int{2, 3} {
+		gd, err := gadget.BuildUniform(delta, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic forged 2-cycle: both halves of one edge labeled
+		// Right, so Right-steps run u -> v -> u with both endpoints
+		// locally bad (Right opposite Right violates the local pattern).
+		// This is the masked-divergence case in its purest form: the
+		// fixpoint sets R at the bad nodes themselves, the walks do not,
+		// and Error wins on both paths.
+		in := gd.In.Clone()
+		in.SetHalf(graph.Half{Edge: 0, Side: graph.SideU}, gadget.LabRight)
+		in.SetHalf(graph.Half{Edge: 0, Side: graph.SideV}, gadget.LabRight)
+		comparePsiOutputs(t, fmt.Sprintf("delta=%d two-cycle", delta), delta, gd.G, in)
+
+		// Randomized rewiring: forge step labels on a growing number of
+		// halves. Seeded, so failures replay.
+		for seed := int64(1); seed <= 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			in := gd.In.Clone()
+			rewrites := 2 + rng.Intn(3*delta)
+			for i := 0; i < rewrites; i++ {
+				h := graph.Half{
+					Edge: graph.EdgeID(rng.Intn(gd.G.NumEdges())),
+					Side: graph.Side(rng.Intn(2)),
+				}
+				in.SetHalf(h, stepLabels[rng.Intn(len(stepLabels))])
+			}
+			comparePsiOutputs(t, fmt.Sprintf("delta=%d seed=%d", delta, seed), delta, gd.G, in)
+		}
+	}
+}

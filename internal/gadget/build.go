@@ -74,7 +74,7 @@ func Build(delta int, heights []int) (*Gadget, error) {
 	b := graph.NewBuilder(GadgetSize(heights), 4*GadgetSize(heights))
 	var nextID int64 = 1
 	newNode := func() graph.NodeID {
-		v := b.MustAddNode(nextID)
+		v := b.Node(nextID)
 		nextID++
 		return v
 	}
@@ -111,7 +111,7 @@ func Build(delta int, heights []int) (*Gadget, error) {
 		for l := 1; l < h; l++ {
 			for x := 0; x < 1<<l; x++ {
 				child, par := levels[l][x], levels[l-1][x/2]
-				e := b.MustAddEdge(child, par)
+				e := b.Link(child, par)
 				childLab := lcl.Label(LabRChild)
 				if x%2 == 0 {
 					childLab = LabLChild
@@ -125,14 +125,14 @@ func Build(delta int, heights []int) (*Gadget, error) {
 		for l := 0; l < h; l++ {
 			for x := 0; x+1 < 1<<l; x++ {
 				u, v := levels[l][x], levels[l][x+1]
-				e := b.MustAddEdge(u, v)
+				e := b.Link(u, v)
 				halves = append(halves,
 					halfLab{e: e, side: graph.SideU, lab: LabRight},
 					halfLab{e: e, side: graph.SideV, lab: LabLeft})
 			}
 		}
 		// Root to center.
-		e := b.MustAddEdge(levels[0][0], center)
+		e := b.Link(levels[0][0], center)
 		halves = append(halves,
 			halfLab{e: e, side: graph.SideU, lab: LabUp},
 			halfLab{e: e, side: graph.SideV, lab: HalfDown(i)})

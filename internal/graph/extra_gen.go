@@ -18,13 +18,13 @@ func NewHypercube(dim int, seed int64) (*Graph, error) {
 	b := NewBuilder(n, n*dim/2)
 	nodes := make([]NodeID, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = b.MustAddNode(ids[i])
+		nodes[i] = b.Node(ids[i])
 	}
 	for i := 0; i < n; i++ {
 		for bit := 0; bit < dim; bit++ {
 			j := i ^ (1 << bit)
 			if i < j {
-				b.MustAddEdge(nodes[i], nodes[j])
+				b.Link(nodes[i], nodes[j])
 			}
 		}
 	}

@@ -52,11 +52,11 @@ func TestGirth(t *testing.T) {
 	}
 	// Multigraph conventions.
 	b := NewBuilder(2, 2)
-	u := b.MustAddNode(1)
-	v := b.MustAddNode(2)
-	b.MustAddEdge(u, v)
-	b.MustAddEdge(u, v)
-	g := b.MustBuild()
+	u := b.Node(1)
+	v := b.Node(2)
+	b.Link(u, v)
+	b.Link(u, v)
+	g := mustBuild(b)
 	if got, ok := g.Girth(); !ok || got != 2 {
 		t.Errorf("parallel-pair girth = (%d,%v), want (2,true)", got, ok)
 	}

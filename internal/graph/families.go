@@ -118,7 +118,7 @@ func advID(f Family) Family {
 			if err != nil {
 				return nil, err
 			}
-			return SequentialIDs(g), nil
+			return SequentialIDs(g)
 		},
 	}
 }
@@ -158,16 +158,16 @@ func FamilyNames() []string {
 // SequentialIDs rebuilds g with identifiers assigned sequentially in node
 // order (node v gets identifier v+1), preserving node order, edge order,
 // and therefore port numbering exactly.
-func SequentialIDs(g *Graph) *Graph {
+func SequentialIDs(g *Graph) (*Graph, error) {
 	b := NewBuilder(g.NumNodes(), g.NumEdges())
 	for v := 0; v < g.NumNodes(); v++ {
-		b.MustAddNode(int64(v + 1))
+		b.Node(int64(v + 1))
 	}
 	for e := 0; e < g.NumEdges(); e++ {
 		ed := g.Edge(EdgeID(e))
-		b.MustAddEdge(ed.U.Node, ed.V.Node)
+		b.Link(ed.U.Node, ed.V.Node)
 	}
-	return b.MustBuild()
+	return b.Build()
 }
 
 // BuildFamily is a convenience lookup-and-build; it reports unknown

@@ -66,7 +66,10 @@ func TestSequentialIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := SequentialIDs(g)
+	s, err := SequentialIDs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
 		t.Fatal("SequentialIDs changed the shape")
 	}

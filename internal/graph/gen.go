@@ -30,10 +30,10 @@ func NewCycle(n int, seed int64) (*Graph, error) {
 	b := NewBuilder(n, n)
 	nodes := make([]NodeID, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = b.MustAddNode(ids[i])
+		nodes[i] = b.Node(ids[i])
 	}
 	for i := 0; i < n; i++ {
-		b.MustAddEdge(nodes[i], nodes[(i+1)%n])
+		b.Link(nodes[i], nodes[(i+1)%n])
 	}
 	return b.Build()
 }
@@ -48,10 +48,10 @@ func NewPath(n int, seed int64) (*Graph, error) {
 	b := NewBuilder(n, n-1)
 	nodes := make([]NodeID, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = b.MustAddNode(ids[i])
+		nodes[i] = b.Node(ids[i])
 	}
 	for i := 0; i+1 < n; i++ {
-		b.MustAddEdge(nodes[i], nodes[i+1])
+		b.Link(nodes[i], nodes[i+1])
 	}
 	return b.Build()
 }
@@ -68,10 +68,10 @@ func NewCompleteBinaryTree(height int, seed int64) (*Graph, error) {
 	b := NewBuilder(n, n-1)
 	nodes := make([]NodeID, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = b.MustAddNode(ids[i])
+		nodes[i] = b.Node(ids[i])
 	}
 	for i := 1; i < n; i++ {
-		b.MustAddEdge(nodes[(i-1)/2], nodes[i])
+		b.Link(nodes[(i-1)/2], nodes[i])
 	}
 	return b.Build()
 }
@@ -121,10 +121,10 @@ func NewRandomRegular(n, d int, seed int64, simple bool) (*Graph, error) {
 		b := NewBuilder(n, n*d/2)
 		nodes := make([]NodeID, n)
 		for i := 0; i < n; i++ {
-			nodes[i] = b.MustAddNode(ids[i])
+			nodes[i] = b.Node(ids[i])
 		}
 		for i := 0; i < len(stubs); i += 2 {
-			b.MustAddEdge(nodes[stubs[i]], nodes[stubs[i+1]])
+			b.Link(nodes[stubs[i]], nodes[stubs[i+1]])
 		}
 		return b.Build()
 	}
@@ -149,10 +149,10 @@ func NewBitrevTree(height int, seed int64) (*Graph, error) {
 	b := NewBuilder(n, n-1+leaves)
 	nodes := make([]NodeID, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = b.MustAddNode(ids[i])
+		nodes[i] = b.Node(ids[i])
 	}
 	for i := 1; i < n; i++ {
-		b.MustAddEdge(nodes[(i-1)/2], nodes[i])
+		b.Link(nodes[(i-1)/2], nodes[i])
 	}
 	// Leaves occupy heap indices leaves-1 .. 2*leaves-2. Connect them in a
 	// cycle following the bit-reversal permutation of their rank so that
@@ -165,7 +165,7 @@ func NewBitrevTree(height int, seed int64) (*Graph, error) {
 	for i := 0; i < leaves; i++ {
 		u := leaves - 1 + order[i]
 		v := leaves - 1 + order[(i+1)%leaves]
-		b.MustAddEdge(nodes[u], nodes[v])
+		b.Link(nodes[u], nodes[v])
 	}
 	return b.Build()
 }
@@ -191,13 +191,13 @@ func NewTorus(rows, cols int, seed int64) (*Graph, error) {
 	b := NewBuilder(n, 2*n)
 	nodes := make([]NodeID, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = b.MustAddNode(ids[i])
+		nodes[i] = b.Node(ids[i])
 	}
 	at := func(r, c int) NodeID { return nodes[((r+rows)%rows)*cols+(c+cols)%cols] }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			b.MustAddEdge(at(r, c), at(r, c+1))
-			b.MustAddEdge(at(r, c), at(r+1, c))
+			b.Link(at(r, c), at(r, c+1))
+			b.Link(at(r, c), at(r+1, c))
 		}
 	}
 	return b.Build()
@@ -222,11 +222,11 @@ func DisjointUnion(parts ...*Graph) (*Graph, [][]NodeID, error) {
 	for pi, p := range parts {
 		m := make([]NodeID, p.NumNodes())
 		for v := 0; v < p.NumNodes(); v++ {
-			m[v] = b.MustAddNode(p.ID(NodeID(v)) + offset)
+			m[v] = b.Node(p.ID(NodeID(v)) + offset)
 		}
 		for e := 0; e < p.NumEdges(); e++ {
 			ed := p.Edge(EdgeID(e))
-			b.MustAddEdge(m[ed.U.Node], m[ed.V.Node])
+			b.Link(m[ed.U.Node], m[ed.V.Node])
 		}
 		maps[pi] = m
 		offset += p.MaxIdentifier()

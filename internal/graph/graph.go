@@ -196,6 +196,9 @@ type Builder struct {
 	seen  map[int64]struct{}
 	edges []Edge
 	adj   [][]Half
+	// err is the first sticky construction error (Node/Link); Build
+	// refuses to finalize a builder carrying one.
+	err error
 }
 
 // NewBuilder returns an empty Builder with capacity hints.
@@ -223,12 +226,14 @@ func (b *Builder) AddNode(id int64) (NodeID, error) {
 	return NodeID(len(b.ids) - 1), nil
 }
 
-// MustAddNode is AddNode for construction code with known-good inputs;
-// it panics on error and is intended for generators and tests.
-func (b *Builder) MustAddNode(id int64) NodeID {
+// Node is AddNode in sticky-error form for construction code: the first
+// failure is recorded on the builder and surfaced by Build, so generators
+// can chain additions without per-call error plumbing and malformed
+// construction inputs report a message instead of crashing.
+func (b *Builder) Node(id int64) NodeID {
 	v, err := b.AddNode(id)
-	if err != nil {
-		panic(err)
+	if err != nil && b.err == nil {
+		b.err = err
 	}
 	return v
 }
@@ -257,14 +262,18 @@ func (b *Builder) AddEdge(u, v NodeID) (EdgeID, error) {
 	return id, nil
 }
 
-// MustAddEdge is AddEdge that panics on error, for generators and tests.
-func (b *Builder) MustAddEdge(u, v NodeID) EdgeID {
+// Link is AddEdge in sticky-error form: the first failure is recorded on
+// the builder and surfaced by Build.
+func (b *Builder) Link(u, v NodeID) EdgeID {
 	e, err := b.AddEdge(u, v)
-	if err != nil {
-		panic(err)
+	if err != nil && b.err == nil {
+		b.err = err
 	}
 	return e
 }
+
+// Err reports the first sticky construction error, if any.
+func (b *Builder) Err() error { return b.err }
 
 // ErrEmptyGraph is returned by Build for graphs with no nodes.
 var ErrEmptyGraph = errors.New("graph has no nodes")
@@ -272,6 +281,9 @@ var ErrEmptyGraph = errors.New("graph has no nodes")
 // Build finalizes the builder into an immutable Graph, flattening the
 // per-node adjacency lists into the CSR offsets + halves arrays.
 func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	if len(b.ids) == 0 {
 		return nil, ErrEmptyGraph
 	}
@@ -295,13 +307,4 @@ func (b *Builder) Build() (*Graph, error) {
 		halves = append(halves, ports...)
 	}
 	return &Graph{ids: b.ids, edges: b.edges, off: off, halves: halves, maxID: maxID, maxDeg: maxDeg}, nil
-}
-
-// MustBuild is Build that panics on error, for generators and tests.
-func (b *Builder) MustBuild() *Graph {
-	g, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return g
 }

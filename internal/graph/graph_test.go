@@ -10,14 +10,14 @@ import (
 
 func TestBuilderBasics(t *testing.T) {
 	b := NewBuilder(4, 4)
-	v0 := b.MustAddNode(10)
-	v1 := b.MustAddNode(20)
-	v2 := b.MustAddNode(30)
-	e01 := b.MustAddEdge(v0, v1)
-	e12 := b.MustAddEdge(v1, v2)
-	loop := b.MustAddEdge(v2, v2)
-	par := b.MustAddEdge(v0, v1)
-	g := b.MustBuild()
+	v0 := b.Node(10)
+	v1 := b.Node(20)
+	v2 := b.Node(30)
+	e01 := b.Link(v0, v1)
+	e12 := b.Link(v1, v2)
+	loop := b.Link(v2, v2)
+	par := b.Link(v0, v1)
+	g := mustBuild(b)
 
 	if got := g.NumNodes(); got != 3 {
 		t.Fatalf("NumNodes = %d, want 3", got)
@@ -69,9 +69,9 @@ func TestBuilderErrors(t *testing.T) {
 
 func TestSelfLoopPorts(t *testing.T) {
 	b := NewBuilder(1, 1)
-	v := b.MustAddNode(1)
-	e := b.MustAddEdge(v, v)
-	g := b.MustBuild()
+	v := b.Node(1)
+	e := b.Link(v, v)
+	g := mustBuild(b)
 	ed := g.Edge(e)
 	if ed.U.Port == ed.V.Port {
 		t.Fatalf("self-loop sides share port %d; want distinct ports", ed.U.Port)
@@ -166,11 +166,11 @@ func TestShortestCycleThrough(t *testing.T) {
 			name: "triangle",
 			build: func() *Graph {
 				b := NewBuilder(3, 3)
-				v0, v1, v2 := b.MustAddNode(1), b.MustAddNode(2), b.MustAddNode(3)
-				b.MustAddEdge(v0, v1)
-				b.MustAddEdge(v1, v2)
-				b.MustAddEdge(v2, v0)
-				return b.MustBuild()
+				v0, v1, v2 := b.Node(1), b.Node(2), b.Node(3)
+				b.Link(v0, v1)
+				b.Link(v1, v2)
+				b.Link(v2, v0)
+				return mustBuild(b)
 			},
 			want: 3,
 		},
@@ -178,9 +178,9 @@ func TestShortestCycleThrough(t *testing.T) {
 			name: "self-loop",
 			build: func() *Graph {
 				b := NewBuilder(1, 1)
-				v := b.MustAddNode(1)
-				b.MustAddEdge(v, v)
-				return b.MustBuild()
+				v := b.Node(1)
+				b.Link(v, v)
+				return mustBuild(b)
 			},
 			want: 1,
 		},
@@ -188,10 +188,10 @@ func TestShortestCycleThrough(t *testing.T) {
 			name: "parallel pair",
 			build: func() *Graph {
 				b := NewBuilder(2, 2)
-				v0, v1 := b.MustAddNode(1), b.MustAddNode(2)
-				b.MustAddEdge(v0, v1)
-				b.MustAddEdge(v0, v1)
-				return b.MustBuild()
+				v0, v1 := b.Node(1), b.Node(2)
+				b.Link(v0, v1)
+				b.Link(v0, v1)
+				return mustBuild(b)
 			},
 			want: 2,
 		},
@@ -231,16 +231,16 @@ func TestCyclePotentialOnLollipop(t *testing.T) {
 	b := NewBuilder(7, 7)
 	nodes := make([]NodeID, 7)
 	for i := range nodes {
-		nodes[i] = b.MustAddNode(int64(i + 1))
+		nodes[i] = b.Node(int64(i + 1))
 	}
-	b.MustAddEdge(nodes[0], nodes[1])
-	b.MustAddEdge(nodes[1], nodes[2])
-	b.MustAddEdge(nodes[2], nodes[0])
-	b.MustAddEdge(nodes[0], nodes[3])
-	b.MustAddEdge(nodes[3], nodes[4])
-	b.MustAddEdge(nodes[4], nodes[5])
-	b.MustAddEdge(nodes[5], nodes[6])
-	g := b.MustBuild()
+	b.Link(nodes[0], nodes[1])
+	b.Link(nodes[1], nodes[2])
+	b.Link(nodes[2], nodes[0])
+	b.Link(nodes[0], nodes[3])
+	b.Link(nodes[3], nodes[4])
+	b.Link(nodes[4], nodes[5])
+	b.Link(nodes[5], nodes[6])
+	g := mustBuild(b)
 	pot := g.CyclePotential(-1)
 	want := []int{3, 3, 3, 4, 5, 6, 7}
 	for i, w := range want {
@@ -366,18 +366,18 @@ func mustD2(t *testing.T, g *Graph) []int {
 
 func TestDistance2ColoringRejectsMultigraph(t *testing.T) {
 	b := NewBuilder(2, 2)
-	v0, v1 := b.MustAddNode(1), b.MustAddNode(2)
-	b.MustAddEdge(v0, v1)
-	b.MustAddEdge(v0, v1)
-	g := b.MustBuild()
+	v0, v1 := b.Node(1), b.Node(2)
+	b.Link(v0, v1)
+	b.Link(v0, v1)
+	g := mustBuild(b)
 	if _, err := Distance2Coloring(g); err == nil {
 		t.Error("coloring of parallel edges should fail")
 	}
 
 	b2 := NewBuilder(1, 1)
-	v := b2.MustAddNode(1)
-	b2.MustAddEdge(v, v)
-	g2 := b2.MustBuild()
+	v := b2.Node(1)
+	b2.Link(v, v)
+	g2 := mustBuild(b2)
 	if _, err := Distance2Coloring(g2); err == nil {
 		t.Error("coloring of self-loop should fail")
 	}
@@ -468,4 +468,14 @@ func TestBallMatchesBFSProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustBuild finalizes a known-good test builder, panicking on the error
+// that the sticky-error API would otherwise surface to callers.
+func mustBuild(b *Builder) *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
 }

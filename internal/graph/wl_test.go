@@ -49,12 +49,12 @@ func TestWLMonotone(t *testing.T) {
 func TestWLDistinguishesDegrees(t *testing.T) {
 	// Star graph: center vs leaves split immediately.
 	b := NewBuilder(5, 4)
-	c := b.MustAddNode(1)
+	c := b.Node(1)
 	for i := 0; i < 4; i++ {
-		leaf := b.MustAddNode(int64(i + 2))
-		b.MustAddEdge(c, leaf)
+		leaf := b.Node(int64(i + 2))
+		b.Link(c, leaf)
 	}
-	g := b.MustBuild()
+	g := mustBuild(b)
 	colors, k := WLColors(g, 0)
 	if k != 2 {
 		t.Fatalf("star classes = %d, want 2", k)

@@ -45,6 +45,21 @@ func Builtins() []*Spec {
 				// report.
 				{Name: "padded-oracle", Family: PaddedFamily, Solver: "pi2-det-oracle",
 					Sizes: []int{12}, Seeds: []int64{1}},
+				// padded-native / padded-native-gather compare the two relay
+				// executions of the same message-passing inner on the same
+				// cell: native constant-bandwidth port machines vs gather
+				// knowledge flooding. Checksums of both — and of the
+				// sequential padded-native-oracle — must be identical; the
+				// relay_words ratio between them is the tracked bandwidth
+				// win.
+				{Name: "padded-native", Family: PaddedFamily, Solver: "pi2-rand-native",
+					Sizes: []int{12}, Seeds: []int64{1},
+					Engine: EngineParams{Workers: 2, Shards: 8}},
+				{Name: "padded-native-gather", Family: PaddedFamily, Solver: "pi2-rand-gather",
+					Sizes: []int{12}, Seeds: []int64{1},
+					Engine: EngineParams{Workers: 2, Shards: 8}},
+				{Name: "padded-native-oracle", Family: PaddedFamily, Solver: "pi2-rand-native-oracle",
+					Sizes: []int{12}, Seeds: []int64{1}},
 			},
 		},
 		{
@@ -149,6 +164,12 @@ func Builtins() []*Spec {
 					Engine: EngineParams{Workers: 2, Shards: 32}},
 				{Name: "pi2-det-oracle-nightly", Family: PaddedFamily, Solver: "pi2-det-oracle",
 					Sizes: full.PaddedBases, Seeds: []int64{1, 2}},
+				// The native relay plane at full scale: relay_words here is
+				// the nightly-tracked bandwidth trajectory of the
+				// constant-size inner machines.
+				{Name: "pi2-rand-native-nightly", Family: PaddedFamily, Solver: "pi2-rand-native",
+					Sizes: full.PaddedBases, Seeds: []int64{1, 2},
+					Engine: EngineParams{Workers: 2, Shards: 32}},
 			},
 		},
 		{

@@ -29,6 +29,13 @@ type CellResult struct {
 	// Messages counts engine message deliveries (engine-aware solvers
 	// only; deterministic, see engine.Stats).
 	Messages int64 `json:"messages,omitempty"`
+	// RelayWords is the padded scenarios' relay-plane bandwidth: payload
+	// words handed to the transport over the relay session, counted at
+	// the senders (framing excluded — what a delta wire encoding would
+	// move). Deterministic across worker/shard geometries; zero for
+	// non-padded and oracle scenarios. Additive field: SchemaVersion
+	// stays v1.
+	RelayWords int64 `json:"relay_words,omitempty"`
 	// Checksum is the FNV-1a 64 fingerprint of the verified output
 	// labeling, in %016x form.
 	Checksum string `json:"checksum"`

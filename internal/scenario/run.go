@@ -116,6 +116,7 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	type cellScalars struct {
 		nodes, edges, rounds int
 		messages             int64
+		relayWords           int64
 		checksum             uint64
 	}
 	outcomes := make([]cellScalars, len(grid))
@@ -130,11 +131,12 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 		}
 		i := index[c]
 		outcomes[i] = cellScalars{
-			nodes:    o.Nodes,
-			edges:    o.Edges,
-			rounds:   o.Rounds,
-			messages: o.Stats.Deliveries,
-			checksum: o.Checksum,
+			nodes:      o.Nodes,
+			edges:      o.Edges,
+			rounds:     o.Rounds,
+			messages:   o.Stats.Deliveries,
+			relayWords: o.RelayWords,
+			checksum:   o.Checksum,
 		}
 		wall[i] = time.Since(start).Nanoseconds()
 		return o.Rounds, nil
@@ -153,13 +155,14 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	for i, c := range grid {
 		o := outcomes[i]
 		cell := CellResult{
-			N:        c.N,
-			Seed:     c.Seed,
-			Nodes:    o.nodes,
-			Edges:    o.edges,
-			Rounds:   o.rounds,
-			Messages: o.messages,
-			Checksum: fmt.Sprintf("%016x", o.checksum),
+			N:          c.N,
+			Seed:       c.Seed,
+			Nodes:      o.nodes,
+			Edges:      o.edges,
+			Rounds:     o.rounds,
+			Messages:   o.messages,
+			RelayWords: o.relayWords,
+			Checksum:   fmt.Sprintf("%016x", o.checksum),
 		}
 		if opts.Timing {
 			cell.WallNanos = wall[i]

@@ -260,7 +260,7 @@ var _ lcl.Solver = &MessageSolver{}
 func NewMessageSolver() *MessageSolver { return &MessageSolver{MaxRounds: 4096} }
 
 // Name implements lcl.Solver.
-func (s *MessageSolver) Name() string { return "sinkless-rand-messages" }
+func (s *MessageSolver) Name() string { return MessageSolverName }
 
 // Randomized implements lcl.Solver.
 func (s *MessageSolver) Randomized() bool { return true }

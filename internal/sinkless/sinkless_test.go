@@ -76,17 +76,17 @@ func TestDetSolverOnFamilies(t *testing.T) {
 
 func TestDetSolverSelfLoopsAndParallel(t *testing.T) {
 	b := graph.NewBuilder(4, 6)
-	v0 := b.MustAddNode(1)
-	v1 := b.MustAddNode(2)
-	v2 := b.MustAddNode(3)
-	v3 := b.MustAddNode(4)
-	b.MustAddEdge(v0, v0) // self-loop
-	b.MustAddEdge(v1, v2) // parallel pair
-	b.MustAddEdge(v1, v2)
-	b.MustAddEdge(v2, v3)
-	b.MustAddEdge(v3, v0)
-	b.MustAddEdge(v3, v1)
-	g := b.MustBuild()
+	v0 := b.Node(1)
+	v1 := b.Node(2)
+	v2 := b.Node(3)
+	v3 := b.Node(4)
+	b.Link(v0, v0) // self-loop
+	b.Link(v1, v2) // parallel pair
+	b.Link(v1, v2)
+	b.Link(v2, v3)
+	b.Link(v3, v0)
+	b.Link(v3, v1)
+	g := mustBuild(b)
 	solveAndVerify(t, NewDetSolver(), g, 0)
 }
 
@@ -261,4 +261,14 @@ func TestRandSolverProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustBuild finalizes a known-good test builder, panicking on the error
+// that the sticky-error API would otherwise surface to callers.
+func mustBuild(b *graph.Builder) *graph.Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
 }

@@ -83,6 +83,11 @@ type Outcome struct {
 	// Stats is the engine execution profile (zero for solvers that do not
 	// execute on the engine). Deterministic across worker/shard settings.
 	Stats engine.Stats
+	// RelayWords is the padded entries' relay-plane bandwidth: payload
+	// words handed to the transport over the relay session, counted at
+	// the senders (zero for non-padded and oracle entries). Deterministic
+	// across worker/shard settings.
+	RelayWords int64
 	// Checksum fingerprints the verified output (FNV-1a 64).
 	Checksum uint64
 	// G, In, Out, Cost expose the instance and solution for callers that
@@ -248,10 +253,89 @@ func paddedRun(pick func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSo
 			return nil, fmt.Errorf("verify: %w", err)
 		}
 		return &Outcome{
+			Nodes:      inst.G.NumNodes(),
+			Edges:      inst.G.NumEdges(),
+			Rounds:     d.Cost.Rounds(),
+			Stats:      engine.Stats{Rounds: d.Engine.Rounds(), Deliveries: d.Engine.Deliveries()},
+			RelayWords: d.Engine.RelayWords,
+			Checksum:   LabelingChecksum(d.Out),
+			G:          inst.G,
+			In:         inst.In,
+			Out:        d.Out,
+			Cost:       d.Cost,
+			Padded:     d,
+			Instance:   inst,
+		}, nil
+	}
+}
+
+// paddedMessageRun builds a balanced level-2 instance and runs the
+// engine-backed solver with the sinkless message solver as inner — the
+// inner with a native constant-bandwidth protocol over the relay plane.
+// forceGather pins the gather execution of the very same inner, the
+// bandwidth baseline the native entry is compared against; both must
+// fingerprint identically to the message-solver oracle.
+func paddedMessageRun(forceGather bool) func(Request) (*Outcome, error) {
+	return func(req Request) (*Outcome, error) {
+		lvl, err := core.NewLevel(2)
+		if err != nil {
+			return nil, err
+		}
+		s := core.NewEnginePaddedSolver(sinkless.NewMessageSolver(), core.LevelDelta(2), req.Engine)
+		s.ForceGather = forceGather
+		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.SolveDetailed(inst.G, inst.In, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := lvl.Verify(inst.G, inst.In, d.Out); err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		return &Outcome{
+			Nodes:      inst.G.NumNodes(),
+			Edges:      inst.G.NumEdges(),
+			Rounds:     d.Cost.Rounds(),
+			Stats:      engine.Stats{Rounds: d.Engine.Rounds(), Deliveries: d.Engine.Deliveries()},
+			RelayWords: d.Engine.RelayWords,
+			Checksum:   LabelingChecksum(d.Out),
+			G:          inst.G,
+			In:         inst.In,
+			Out:        d.Out,
+			Cost:       d.Cost,
+			Padded:     d,
+			Instance:   inst,
+		}, nil
+	}
+}
+
+// paddedMessageOracleRun is the sequential Lemma-4 oracle over the
+// sinkless message solver: the reference both message-solver engine
+// entries (native and forced-gather) must fingerprint identically to.
+func paddedMessageOracleRun() func(Request) (*Outcome, error) {
+	return func(req Request) (*Outcome, error) {
+		lvl, err := core.NewLevel(2)
+		if err != nil {
+			return nil, err
+		}
+		s := core.NewPaddedSolver(sinkless.NewMessageSolver(), core.LevelDelta(2))
+		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.SolveDetailed(inst.G, inst.In, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := lvl.Verify(inst.G, inst.In, d.Out); err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		return &Outcome{
 			Nodes:    inst.G.NumNodes(),
 			Edges:    inst.G.NumEdges(),
 			Rounds:   d.Cost.Rounds(),
-			Stats:    engine.Stats{Rounds: d.Engine.Rounds(), Deliveries: d.Engine.Deliveries()},
 			Checksum: LabelingChecksum(d.Out),
 			G:        inst.G,
 			In:       inst.In,
@@ -393,6 +477,22 @@ func Registry() []Entry {
 			Run:           paddedRun(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return rnd }),
 		},
 		{
+			Name:          "pi2-rand-native",
+			Description:   "Π₂ with the sinkless message solver as inner, run as native constant-bandwidth port machines over the relay plane",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			EngineAware:   true,
+			Run:           paddedMessageRun(false),
+		},
+		{
+			Name:          "pi2-rand-gather",
+			Description:   "Π₂ with the sinkless message solver as inner, forced onto gather machines — the bandwidth baseline for pi2-rand-native",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			EngineAware:   true,
+			Run:           paddedMessageRun(true),
+		},
+		{
 			Name:          "pi2-det-oracle",
 			Description:   "Π₂ sequential Lemma-4 oracle, deterministic — reference for the native-machine pi2-det (identical checksums)",
 			DefaultFamily: PaddedFamily,
@@ -407,6 +507,14 @@ func Registry() []Entry {
 			Padded:        true,
 			Oracle:        true,
 			Run:           paddedOracleRun(func(lvl *core.Level) lcl.Solver { return lvl.Rand }),
+		},
+		{
+			Name:          "pi2-rand-native-oracle",
+			Description:   "Π₂ sequential Lemma-4 oracle over the sinkless message solver — reference for pi2-rand-native and pi2-rand-gather (identical checksums)",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			Oracle:        true,
+			Run:           paddedMessageOracleRun(),
 		},
 	}
 }
