@@ -1,0 +1,280 @@
+// Command lcl-serve is the serving daemon and its load harness in one
+// binary:
+//
+//   - serve mode (default) exposes the HTTP/JSON cell-serving API over a
+//     bounded admission queue and a pre-warmable session pool; served
+//     cell fragments are byte-identical to lcl-scenario report cells.
+//   - -loadgen drives a deterministic open-loop arrival schedule
+//     (Poisson or fixed-rate windows over a cell mix) against a remote
+//     daemon (-target) or an in-process server, and prints the measured
+//     step.
+//   - -saturate ramps the offered rate and emits a locallab.load/v1
+//     report with the sustainable rate per core and latency quantiles.
+//
+// Endpoints and schemas are documented in docs/SERVING.md.
+//
+// Usage:
+//
+//	lcl-serve -addr 127.0.0.1:8080 -prewarm ci-smoke
+//	lcl-serve -loadgen -builtin ci-smoke -schedule poisson:50:2s -seed 1
+//	lcl-serve -loadgen -target http://127.0.0.1:8080 -mix mix.json -schedule fixed:20:1s
+//	lcl-serve -saturate -builtin ci-smoke -rates 10,20,40 -window 2s -json load.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"locallab/internal/scenario"
+	"locallab/internal/serve"
+	"locallab/internal/serve/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lcl-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("lcl-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "serve mode: listen address")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = default 64); overflow rejects with 429")
+	serveWorkers := fs.Int("serve-workers", 0, "cell-executing workers draining the queue (0 = GOMAXPROCS)")
+	poolIdle := fs.Int("pool", 0, "max idle pooled runners across all cells (0 = default 64)")
+	prewarm := fs.String("prewarm", "", "serve mode: pre-warm the session pool with a builtin spec's cells")
+
+	loadgenMode := fs.Bool("loadgen", false, "drive one open-loop schedule instead of serving")
+	saturate := fs.Bool("saturate", false, "ramp offered rates and emit a locallab.load/v1 report")
+	target := fs.String("target", "", "load modes: daemon base URL (empty = in-process server)")
+	mixPath := fs.String("mix", "", "load modes: JSON file with an array of cell requests")
+	builtin := fs.String("builtin", "", "load modes: use a builtin spec's cells as the mix")
+	schedule := fs.String("schedule", "poisson:20:1s", "-loadgen: rate windows, comma-separated process:rate:duration")
+	rates := fs.String("rates", "5,10,20", "-saturate: offered rates (req/s) to ramp, comma-separated")
+	window := fs.Duration("window", 2*time.Second, "-saturate: duration driven per rate step")
+	process := fs.String("process", loadgen.ProcessPoisson, "-saturate: arrival process (poisson or fixed)")
+	rejectSLO := fs.Float64("reject-slo", 0.01, "-saturate: max rejected fraction for a rate to count sustainable")
+	seed := fs.Int64("seed", 1, "load modes: workload seed (schedules are deterministic under it)")
+	jsonOut := fs.String("json", "", "load modes: write the JSON report to this file ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := serve.Options{QueueDepth: *queue, Workers: *serveWorkers, PoolMaxIdle: *poolIdle}
+	switch {
+	case *loadgenMode && *saturate:
+		return errors.New("-loadgen and -saturate are mutually exclusive")
+	case *loadgenMode:
+		return runLoadgen(stdout, opts, *target, *mixPath, *builtin, *schedule, *seed, *jsonOut)
+	case *saturate:
+		return runSaturate(stdout, opts, *target, *mixPath, *builtin, *rates, *window, *process, *rejectSLO, *seed, *jsonOut)
+	default:
+		return runServe(stdout, opts, *addr, *prewarm)
+	}
+}
+
+func runServe(stdout *os.File, opts serve.Options, addr, prewarm string) error {
+	srv := serve.New(opts)
+	defer srv.Close()
+	if prewarm != "" {
+		cells, err := serve.BuiltinMix(prewarm)
+		if err != nil {
+			return err
+		}
+		if err := srv.Prewarm(cells); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "pre-warmed %d cells from builtin %q\n", len(cells), prewarm)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "serving on http://%s (POST /v1/run)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	}
+}
+
+// newTarget builds the load target: a remote daemon when url is set,
+// otherwise an in-process server (closed by the returned cleanup).
+func newTarget(url string, opts serve.Options) (loadgen.Target, func()) {
+	if url != "" {
+		return &loadgen.HTTPTarget{BaseURL: url}, func() {}
+	}
+	srv := serve.New(opts)
+	return srv, srv.Close
+}
+
+func loadMix(mixPath, builtin string) ([]scenario.CellRequest, error) {
+	switch {
+	case mixPath != "" && builtin != "":
+		return nil, errors.New("-mix and -builtin are mutually exclusive")
+	case mixPath != "":
+		data, err := os.ReadFile(mixPath)
+		if err != nil {
+			return nil, err
+		}
+		var mix []scenario.CellRequest
+		if err := json.Unmarshal(data, &mix); err != nil {
+			return nil, fmt.Errorf("mix %s: %w", mixPath, err)
+		}
+		for i := range mix {
+			if err := mix[i].Validate(); err != nil {
+				return nil, fmt.Errorf("mix %s entry %d: %w", mixPath, i, err)
+			}
+		}
+		return mix, nil
+	case builtin != "":
+		return serve.BuiltinMix(builtin)
+	default:
+		return nil, errors.New("no cell mix: pass -mix or -builtin")
+	}
+}
+
+// parseSchedule parses "process:rate:duration" windows, comma-separated,
+// e.g. "poisson:50:2s,fixed:20:1s".
+func parseSchedule(s string) ([]loadgen.Window, error) {
+	var windows []loadgen.Window
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("schedule window %q: want process:rate:duration", part)
+		}
+		rate, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("schedule window %q: bad rate: %w", part, err)
+		}
+		dur, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("schedule window %q: bad duration: %w", part, err)
+		}
+		windows = append(windows, loadgen.Window{Process: fields[0], Rate: rate, Duration: dur})
+	}
+	return windows, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", part, err)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+func runLoadgen(stdout *os.File, opts serve.Options, target, mixPath, builtin, schedule string, seed int64, jsonOut string) error {
+	mix, err := loadMix(mixPath, builtin)
+	if err != nil {
+		return err
+	}
+	windows, err := parseSchedule(schedule)
+	if err != nil {
+		return err
+	}
+	tgt, cleanup := newTarget(target, opts)
+	defer cleanup()
+	step, err := loadgen.Measure(context.Background(), tgt, windows, mix, seed)
+	if err != nil {
+		return err
+	}
+	rep := &loadgen.Report{
+		Schema:        loadgen.LoadSchemaVersion,
+		Tool:          "lcl-serve",
+		Name:          "loadgen",
+		Process:       windows[0].Process,
+		Seed:          seed,
+		WindowSeconds: totalSeconds(windows),
+		Cores:         runtime.GOMAXPROCS(0),
+		Steps:         []loadgen.RateStep{*step},
+	}
+	if step.Sustainable = step.Errors == 0; step.Sustainable {
+		rep.SustainableRate = step.OfferedRate
+		rep.SustainableRatePerCore = rep.SustainableRate / float64(rep.Cores)
+	}
+	return emitLoadReport(stdout, rep, jsonOut)
+}
+
+func runSaturate(stdout *os.File, opts serve.Options, target, mixPath, builtin, ratesFlag string, window time.Duration, process string, rejectSLO float64, seed int64, jsonOut string) error {
+	mix, err := loadMix(mixPath, builtin)
+	if err != nil {
+		return err
+	}
+	rates, err := parseRates(ratesFlag)
+	if err != nil {
+		return err
+	}
+	tgt, cleanup := newTarget(target, opts)
+	defer cleanup()
+	rep, err := loadgen.Saturate(context.Background(), tgt, loadgen.SaturationOptions{
+		Name:              "saturate",
+		Rates:             rates,
+		Window:            window,
+		Process:           process,
+		Seed:              seed,
+		Mix:               mix,
+		MaxRejectFraction: rejectSLO,
+	})
+	if err != nil {
+		return err
+	}
+	return emitLoadReport(stdout, rep, jsonOut)
+}
+
+func emitLoadReport(stdout *os.File, rep *loadgen.Report, jsonOut string) error {
+	data, err := rep.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	if jsonOut == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	for _, s := range rep.Steps {
+		fmt.Fprintf(stdout, "rate %.1f req/s: sent %d completed %d rejected %d errors %d  p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			s.OfferedRate, s.Sent, s.Completed, s.Rejected, s.Errors, s.P50Ms, s.P95Ms, s.P99Ms)
+	}
+	fmt.Fprintf(stdout, "sustainable: %.1f req/s (%.2f per core over %d cores)\n",
+		rep.SustainableRate, rep.SustainableRatePerCore, rep.Cores)
+	if jsonOut != "" {
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "report written to", jsonOut)
+	}
+	return nil
+}
+
+func totalSeconds(windows []loadgen.Window) float64 {
+	var total time.Duration
+	for _, w := range windows {
+		total += w.Duration
+	}
+	return total.Seconds()
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"locallab/internal/serve/loadgen"
+)
+
+// TestLoadgenInProcess drives the -loadgen mode end to end against an
+// in-process server and checks the emitted locallab.load/v1 report.
+func TestLoadgenInProcess(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "load.json")
+	args := []string{"-loadgen", "-builtin", "ci-smoke",
+		"-schedule", "fixed:20:500ms", "-seed", "1", "-json", out}
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != loadgen.LoadSchemaVersion || rep.Tool != "lcl-serve" {
+		t.Fatalf("bad envelope: %+v", rep)
+	}
+	if len(rep.Steps) != 1 {
+		t.Fatalf("%d steps, want 1", len(rep.Steps))
+	}
+	s := rep.Steps[0]
+	if s.Sent != 10 {
+		t.Fatalf("fixed 20 req/s over 500ms sent %d, want 10", s.Sent)
+	}
+	if s.Completed+s.Rejected+s.Errors != s.Sent {
+		t.Fatalf("books do not balance: %+v", s)
+	}
+}
+
+// TestSaturateInProcess runs a tiny -saturate ramp in process.
+func TestSaturateInProcess(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "load.json")
+	args := []string{"-saturate", "-builtin", "ci-smoke",
+		"-rates", "10,20", "-window", "300ms", "-process", "fixed",
+		"-seed", "1", "-json", out}
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 2 {
+		t.Fatalf("%d steps, want 2", len(rep.Steps))
+	}
+	if rep.WindowSeconds != 0.3 || rep.Process != "fixed" {
+		t.Fatalf("ramp config not recorded: %+v", rep)
+	}
+}
+
+// TestFlagErrors pins the CLI's loud failures.
+func TestFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-loadgen", "-saturate"},
+		{"-loadgen"}, // no mix
+		{"-loadgen", "-builtin", "ci-smoke", "-schedule", "bogus"},  // bad schedule
+		{"-loadgen", "-builtin", "nope", "-schedule", "fixed:1:1s"}, // unknown builtin
+		{"-saturate", "-builtin", "ci-smoke", "-rates", "ten"},      // bad rates
+		{"-loadgen", "-builtin", "ci-smoke", "-mix", "x.json"},      // mutually exclusive
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("%v: no error", args)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	ws, err := parseSchedule("poisson:50:2s, fixed:20:500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []loadgen.Window{
+		{Process: "poisson", Rate: 50, Duration: 2 * time.Second},
+		{Process: "fixed", Rate: 20, Duration: 500 * time.Millisecond},
+	}
+	if len(ws) != len(want) {
+		t.Fatalf("%d windows, want %d", len(ws), len(want))
+	}
+	for i := range ws {
+		if ws[i] != want[i] {
+			t.Fatalf("window %d: %+v, want %+v", i, ws[i], want[i])
+		}
+	}
+}

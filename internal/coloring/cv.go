@@ -152,43 +152,42 @@ func (s *CVSolver) Randomized() bool { return false }
 
 // Solve implements lcl.Solver.
 func (s *CVSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Labeling, *local.Cost, error) {
-	if err := RequireCycleGraph(g); err != nil {
-		return nil, nil, fmt.Errorf("cole-vishkin: %w", err)
-	}
-	n := g.NumNodes()
-	var (
-		stats  engine.Stats
-		err    error
-		colors = make([]int64, n)
-	)
 	if s.Engine.Options().Sequential {
 		// Boxed oracle path: the original interface{}-message machine on
 		// the sequential reference implementation.
+		if err := RequireCycleGraph(g); err != nil {
+			return nil, nil, fmt.Errorf("cole-vishkin: %w", err)
+		}
+		n := g.NumNodes()
 		machines := make([]local.Machine, n)
 		for v := range machines {
 			machines[v] = &cvMachine{}
 		}
-		stats, err = local.RunStatsWith(s.Engine, g, machines, seed, false, s.MaxRounds)
+		stats, err := local.RunStatsWith(s.Engine, g, machines, seed, false, s.MaxRounds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cole-vishkin runtime: %w", err)
+		}
+		colors := make([]int64, n)
 		for v := range machines {
 			colors[v] = machines[v].(*cvMachine).color
 		}
-	} else {
-		// Production path: unboxed machines on the typed engine core.
-		machines := make([]cvTypedMachine, n)
-		typed := make([]engine.TypedMachine[cvMsg], n)
-		for v := range typed {
-			typed[v] = &machines[v]
-		}
-		stats, err = local.RunStatsTyped(s.Engine, g, typed, seed, false, s.MaxRounds)
-		for v := range machines {
-			colors[v] = machines[v].color
-		}
+		s.LastStats = stats
+		return cvFinish(g, colors, stats.Rounds)
 	}
+	// Production path: unboxed machines on the typed engine core, run as
+	// a one-shot session.
+	sess, err := s.NewSolverSession(g)
 	if err != nil {
-		return nil, nil, fmt.Errorf("cole-vishkin runtime: %w", err)
+		return nil, nil, err
 	}
-	rounds := stats.Rounds
-	s.LastStats = stats
+	defer sess.Close()
+	return sess.Solve(in, seed)
+}
+
+// cvFinish validates the final palette and assembles the labeling and
+// cost; it is the post-processing shared by the boxed oracle path and
+// the typed session path.
+func cvFinish(g *graph.Graph, colors []int64, rounds int) (*lcl.Labeling, *local.Cost, error) {
 	out := lcl.NewLabeling(g)
 	for v, c := range colors {
 		if c < 1 || c > 3 {
@@ -202,6 +201,63 @@ func (s *CVSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Lab
 	}
 	return out, cost, nil
 }
+
+// CVSession pins a Cole–Vishkin execution to one cycle graph: the typed
+// machines and the engine session (flat message planes, shard table,
+// worker pool) are allocated once and reused across Solve calls through
+// engine.Session.Reset, so repeated solves of the same instance skip all
+// session construction. Not safe for concurrent use.
+type CVSession struct {
+	s        *CVSolver
+	g        *graph.Graph
+	machines []cvTypedMachine
+	sess     *engine.Session[cvMsg]
+}
+
+var _ lcl.SolverSession = (*CVSession)(nil)
+
+// NewSolverSession implements lcl.SessionSolver. A sequential engine has
+// no typed session — callers get lcl.ErrNoSession and fall back to
+// Solve's boxed oracle path.
+func (s *CVSolver) NewSolverSession(g *graph.Graph) (lcl.SolverSession, error) {
+	if err := RequireCycleGraph(g); err != nil {
+		return nil, fmt.Errorf("cole-vishkin: %w", err)
+	}
+	if s.Engine.Options().Sequential {
+		return nil, fmt.Errorf("cole-vishkin: sequential engine: %w", lcl.ErrNoSession)
+	}
+	n := g.NumNodes()
+	cs := &CVSession{s: s, g: g, machines: make([]cvTypedMachine, n)}
+	typed := make([]engine.TypedMachine[cvMsg], n)
+	for v := range typed {
+		typed[v] = &cs.machines[v]
+	}
+	sess, err := engine.NewCore[cvMsg](s.Engine.Options()).NewSession(g, typed)
+	if err != nil {
+		return nil, err
+	}
+	cs.sess = sess
+	return cs, nil
+}
+
+// Solve implements lcl.SolverSession. The input labeling is unused (the
+// problem has no input labels) and the seed is ignored by this
+// deterministic solver, exactly as in CVSolver.Solve.
+func (cs *CVSession) Solve(_ *lcl.Labeling, seed int64) (*lcl.Labeling, *local.Cost, error) {
+	stats, err := cs.sess.Run(seed, false, cs.s.MaxRounds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cole-vishkin runtime: %w", err)
+	}
+	colors := make([]int64, len(cs.machines))
+	for v := range cs.machines {
+		colors[v] = cs.machines[v].color
+	}
+	cs.s.LastStats = stats
+	return cvFinish(cs.g, colors, stats.Rounds)
+}
+
+// Close releases the pinned engine session's worker pool.
+func (cs *CVSession) Close() { cs.sess.Close() }
 
 // MISSolver computes a maximal independent set on cycles by reducing to
 // 3-coloring and then two greedy rounds (color class 1 joins; classes 2

@@ -110,16 +110,10 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 			grid = append(grid, cs)
 		}
 	}
-	// Only the scalar report fields are kept per cell: retaining the full
-	// solver.Outcome (graph + labelings + padded diagnostics) across the
-	// grid would hold every instance live until report assembly.
-	type cellScalars struct {
-		nodes, edges, rounds int
-		messages             int64
-		relayWords           int64
-		checksum             uint64
-	}
-	outcomes := make([]cellScalars, len(grid))
+	// Only the scalar report cell is kept per grid slot: retaining the
+	// full solver.Outcome (graph + labelings + padded diagnostics) across
+	// the grid would hold every instance live until report assembly.
+	outcomes := make([]CellResult, len(grid))
 	wall := make([]int64, len(grid))
 	_, err := measure.ParallelCells(sc.Name, grid, opts.GridWorkers, func(c measure.CellSpec) (int, error) {
 		// wall_nanos covers the whole cell — instance construction, solve,
@@ -130,14 +124,7 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 			return 0, err
 		}
 		i := index[c]
-		outcomes[i] = cellScalars{
-			nodes:      o.Nodes,
-			edges:      o.Edges,
-			rounds:     o.Rounds,
-			messages:   o.Stats.Deliveries,
-			relayWords: o.RelayWords,
-			checksum:   o.Checksum,
-		}
+		outcomes[i] = newCellResult(c.N, c.Seed, o)
 		wall[i] = time.Since(start).Nanoseconds()
 		return o.Rounds, nil
 	})
@@ -152,18 +139,8 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 		Engine: sc.Engine,
 		Cells:  make([]CellResult, len(grid)),
 	}
-	for i, c := range grid {
-		o := outcomes[i]
-		cell := CellResult{
-			N:          c.N,
-			Seed:       c.Seed,
-			Nodes:      o.nodes,
-			Edges:      o.edges,
-			Rounds:     o.rounds,
-			Messages:   o.messages,
-			RelayWords: o.relayWords,
-			Checksum:   fmt.Sprintf("%016x", o.checksum),
-		}
+	for i := range grid {
+		cell := outcomes[i]
 		if opts.Timing {
 			cell.WallNanos = wall[i]
 		}

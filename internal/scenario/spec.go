@@ -148,60 +148,68 @@ func (s *Spec) Validate() error {
 }
 
 func (sc *Scenario) validate() error {
+	return sc.validateAs(fmt.Sprintf("scenario %q", sc.Name))
+}
+
+// validateAs checks one scenario's (family, solver, grid, engine) shape,
+// prefixing errors with subject — `scenario "name"` for spec scenarios,
+// `cell` for single-cell serving requests — so the exact tested message
+// bodies are shared by both entry points.
+func (sc *Scenario) validateAs(subject string) error {
 	sol, ok := SolverByName(sc.Solver)
 	if !ok {
-		return fmt.Errorf("scenario %q: unknown solver %q (known: %s)",
-			sc.Name, sc.Solver, strings.Join(SolverNames(), ", "))
+		return fmt.Errorf("%s: unknown solver %q (known: %s)",
+			subject, sc.Solver, strings.Join(SolverNames(), ", "))
 	}
 	minSize := 0
 	switch {
 	case sc.Family == PaddedFamily:
 		if !sol.Padded {
-			return fmt.Errorf("scenario %q: solver %q does not run on padded instances", sc.Name, sc.Solver)
+			return fmt.Errorf("%s: solver %q does not run on padded instances", subject, sc.Solver)
 		}
 		minSize = PaddedMinSize
 	default:
 		f, ok := graph.FamilyByName(sc.Family)
 		if !ok {
-			return fmt.Errorf("scenario %q: unknown graph family %q (known: %s, %s)",
-				sc.Name, sc.Family, strings.Join(graph.FamilyNames(), ", "), PaddedFamily)
+			return fmt.Errorf("%s: unknown graph family %q (known: %s, %s)",
+				subject, sc.Family, strings.Join(graph.FamilyNames(), ", "), PaddedFamily)
 		}
 		if sol.Padded {
-			return fmt.Errorf("scenario %q: solver %q requires family %q", sc.Name, sc.Solver, PaddedFamily)
+			return fmt.Errorf("%s: solver %q requires family %q", subject, sc.Solver, PaddedFamily)
 		}
 		if sol.CycleOnly && sc.Family != "cycle" && sc.Family != "cycle-advid" {
-			return fmt.Errorf("scenario %q: solver %q runs on cycles only (family %q)", sc.Name, sc.Solver, sc.Family)
+			return fmt.Errorf("%s: solver %q runs on cycles only (family %q)", subject, sc.Solver, sc.Family)
 		}
 		minSize = f.MinSize
 	}
 	if len(sc.Sizes) == 0 {
-		return fmt.Errorf("scenario %q: no sizes", sc.Name)
+		return fmt.Errorf("%s: no sizes", subject)
 	}
 	if len(sc.Seeds) == 0 {
-		return fmt.Errorf("scenario %q: no seeds", sc.Name)
+		return fmt.Errorf("%s: no seeds", subject)
 	}
 	sizeSeen := map[int]bool{}
 	for _, n := range sc.Sizes {
 		if n < minSize {
-			return fmt.Errorf("scenario %q: size %d below family %q minimum %d", sc.Name, n, sc.Family, minSize)
+			return fmt.Errorf("%s: size %d below family %q minimum %d", subject, n, sc.Family, minSize)
 		}
 		if sizeSeen[n] {
-			return fmt.Errorf("scenario %q: duplicate size %d", sc.Name, n)
+			return fmt.Errorf("%s: duplicate size %d", subject, n)
 		}
 		sizeSeen[n] = true
 	}
 	seedSeen := map[int64]bool{}
 	for _, seed := range sc.Seeds {
 		if seedSeen[seed] {
-			return fmt.Errorf("scenario %q: duplicate seed %d", sc.Name, seed)
+			return fmt.Errorf("%s: duplicate seed %d", subject, seed)
 		}
 		seedSeen[seed] = true
 	}
 	if !sol.EngineAware && (sc.Engine.Workers != 0 || sc.Engine.Shards != 0) {
-		return fmt.Errorf("scenario %q: solver %q does not take engine parameters", sc.Name, sc.Solver)
+		return fmt.Errorf("%s: solver %q does not take engine parameters", subject, sc.Solver)
 	}
 	if sc.Engine.Workers < 0 || sc.Engine.Shards < 0 {
-		return fmt.Errorf("scenario %q: negative engine parameters", sc.Name)
+		return fmt.Errorf("%s: negative engine parameters", subject)
 	}
 	return nil
 }

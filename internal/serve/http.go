@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"locallab/internal/graph"
+	"locallab/internal/scenario"
+	"locallab/internal/solver"
+)
+
+// RunResponse is the served envelope for one cell: the report schema
+// version plus the CellResult fragment, rendered canonically (two-space
+// indent, fixed field order, trailing newline) so served bytes can be
+// diffed against lcl-scenario report cells.
+type RunResponse struct {
+	Schema string              `json:"schema"`
+	Tool   string              `json:"tool"`
+	Cell   scenario.CellResult `json:"cell"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/run      — run one cell; body is a scenario.CellRequest
+//	GET  /v1/solvers  — registry solver names
+//	GET  /v1/families — graph family names plus the padded pseudo-family
+//	GET  /healthz     — liveness
+//	GET  /debug/stats — counters, pool hit rates, latency histograms
+//
+// Validation failures return 400 with the exact scenario error message;
+// a full admission queue returns 429 with Retry-After.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/solvers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"solvers": solver.Names()})
+	})
+	mux.HandleFunc("GET /v1/families", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"families": append(graph.FamilyNames(), scenario.PaddedFamily),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req scenario.CellRequest
+	if err := dec.Decode(&req); err != nil {
+		s.stats.invalid.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("cell: %v", err)})
+		return
+	}
+	cell, err := s.Do(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		// Validation errors carry the exact scenario message contract;
+		// everything else is an internal cell failure.
+		status := http.StatusInternalServerError
+		if req.Validate() != nil {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Schema: scenario.SchemaVersion,
+		Tool:   "lcl-serve",
+		Cell:   *cell,
+	})
+}
+
+// writeJSON renders v canonically: two-space indent, struct field order,
+// trailing newline — the same byte discipline as Report.CanonicalJSON.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}

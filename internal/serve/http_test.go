@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"locallab/internal/scenario"
+)
+
+func postRun(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestHandlerRun: a valid request returns the canonical report envelope
+// with the exact cell fragment lcl-scenario would report.
+func TestHandlerRun(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	h := s.Handler()
+	body := `{"family":"cycle","solver":"cole-vishkin","n":64,"seed":1,"engine":{"workers":2,"shards":8}}`
+	w := postRun(t, h, body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Schema != scenario.SchemaVersion || resp.Tool != "lcl-serve" {
+		t.Fatalf("bad envelope: %+v", resp)
+	}
+	want, err := scenario.RunCell(scenario.CellRequest{
+		Family: "cycle", Solver: "cole-vishkin", N: 64, Seed: 1,
+		Engine: scenario.EngineParams{Workers: 2, Shards: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cell != *want {
+		t.Fatalf("served cell differs:\n got %+v\nwant %+v", resp.Cell, *want)
+	}
+	if !bytes.HasSuffix(w.Body.Bytes(), []byte("\n")) {
+		t.Fatal("response missing canonical trailing newline")
+	}
+}
+
+// TestHandlerValidation pins the HTTP error surface: exact scenario
+// messages on 400, unknown JSON fields rejected, wrong method 405.
+func TestHandlerValidation(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	h := s.Handler()
+
+	w := postRun(t, h, `{"family":"cycle","solver":"nope","n":16,"seed":1}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown solver: status %d", w.Code)
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(er.Error, `cell: unknown solver "nope" (known: `) {
+		t.Fatalf("error %q lacks the exact validation message", er.Error)
+	}
+
+	w = postRun(t, h, `{"family":"cycle","solver":"cole-vishkin","n":64,"seed":1,"typo":true}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, `unknown field "typo"`) {
+		t.Fatalf("error %q does not name the unknown field", er.Error)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/run", nil)
+	w2 := httptest.NewRecorder()
+	h.ServeHTTP(w2, req)
+	if w2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run: status %d", w2.Code)
+	}
+}
+
+// TestHandlerOverflow: a full queue surfaces as 429 with Retry-After.
+func TestHandlerOverflow(t *testing.T) {
+	s := newServer(Options{QueueDepth: 1}, false)
+	h := s.Handler()
+	// Fill the queue out of band so the handler request overflows.
+	s.queue <- &job{req: cvCell(1, 1), done: make(chan jobResult, 1)}
+	w := postRun(t, h, `{"family":"cycle","solver":"cole-vishkin","n":64,"seed":1}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error != ErrOverloaded.Error() {
+		t.Fatalf("error %q, want %q", er.Error, ErrOverloaded.Error())
+	}
+}
+
+// TestHandlerMeta covers the listing, health, and stats endpoints.
+func TestHandlerMeta(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	h := s.Handler()
+	for _, path := range []string{"/v1/solvers", "/v1/families", "/healthz", "/debug/stats"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, w.Code)
+		}
+	}
+	// One completed run, then the stats snapshot must reflect it.
+	postRun(t, h, `{"family":"cycle","solver":"cole-vishkin","n":64,"seed":1}`)
+	req := httptest.NewRequest(http.MethodGet, "/debug/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 || st.Solvers["cole-vishkin"].Requests != 1 {
+		t.Fatalf("stats did not record the run: %+v", st)
+	}
+}

@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"locallab/internal/scenario"
+	"locallab/internal/serve"
+)
+
+// HTTPTarget drives a remote lcl-serve daemon over POST /v1/run. A 429
+// response is reported as an error wrapping serve.ErrOverloaded so Drive
+// classifies it as a rejection, matching the in-process target.
+type HTTPTarget struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (t *HTTPTarget) Do(ctx context.Context, req scenario.CellRequest) (*scenario.CellResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	url := strings.TrimSuffix(t.BaseURL, "/") + "/v1/run"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rr struct {
+			Cell scenario.CellResult `json:"cell"`
+		}
+		if err := json.Unmarshal(data, &rr); err != nil {
+			return nil, fmt.Errorf("loadgen: bad response: %w", err)
+		}
+		return &rr.Cell, nil
+	case http.StatusTooManyRequests:
+		return nil, fmt.Errorf("loadgen: %w", serve.ErrOverloaded)
+	default:
+		var er struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("loadgen: status %d: %s", resp.StatusCode, er.Error)
+		}
+		return nil, fmt.Errorf("loadgen: status %d", resp.StatusCode)
+	}
+}

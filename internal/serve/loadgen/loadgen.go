@@ -1,0 +1,211 @@
+// Package loadgen is the open-loop workload generator for the serving
+// layer: it materializes a deterministic arrival schedule (Poisson or
+// fixed-rate, per-window rate schedules) over a cell mix, fires the
+// arrivals at their timestamps regardless of completion — open loop, so
+// an overloaded server sees real queueing pressure instead of the
+// closed-loop coordinated-omission artifact — and classifies outcomes
+// into completions, rejections (bounded-admission 429s), and errors.
+//
+// Determinism contract: the generated workload — arrival times and the
+// cell chosen per arrival — is a pure function of (windows, mix, seed).
+// Measured latencies and throughput vary run to run; the schedule never
+// does.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"locallab/internal/scenario"
+	"locallab/internal/serve"
+)
+
+// Arrival processes.
+const (
+	// ProcessPoisson draws exponential inter-arrival gaps (memoryless
+	// arrivals at the window's mean rate).
+	ProcessPoisson = "poisson"
+	// ProcessFixed spaces arrivals evenly at exactly the window's rate.
+	ProcessFixed = "fixed"
+)
+
+// Window is one segment of the rate schedule: arrivals follow Process at
+// Rate requests/second for Duration.
+type Window struct {
+	Process  string
+	Rate     float64
+	Duration time.Duration
+}
+
+// Arrival is one scheduled request: fire Cell at offset At from the run
+// start.
+type Arrival struct {
+	At   time.Duration
+	Cell scenario.CellRequest
+}
+
+// Generate materializes the arrival schedule for a rate plan over a cell
+// mix. The schedule is deterministic under seed: one seeded PRNG drives
+// both the Poisson gaps and the per-arrival mix draw, in schedule order.
+func Generate(windows []Window, mix []scenario.CellRequest, seed int64) ([]Arrival, error) {
+	if len(mix) == 0 {
+		return nil, errors.New("loadgen: empty cell mix")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var arrivals []Arrival
+	offset := time.Duration(0)
+	for i, w := range windows {
+		if w.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: window %d: rate %v must be positive", i, w.Rate)
+		}
+		if w.Duration <= 0 {
+			return nil, fmt.Errorf("loadgen: window %d: duration %v must be positive", i, w.Duration)
+		}
+		end := offset + w.Duration
+		t := offset
+		switch w.Process {
+		case ProcessPoisson:
+			for {
+				gap := time.Duration(rng.ExpFloat64() / w.Rate * float64(time.Second))
+				t += gap
+				if t >= end {
+					break
+				}
+				arrivals = append(arrivals, Arrival{At: t, Cell: mix[rng.Intn(len(mix))]})
+			}
+		case ProcessFixed:
+			gap := time.Duration(float64(time.Second) / w.Rate)
+			for ; t < end; t += gap {
+				arrivals = append(arrivals, Arrival{At: t, Cell: mix[rng.Intn(len(mix))]})
+			}
+		default:
+			return nil, fmt.Errorf("loadgen: window %d: unknown process %q (known: %s, %s)",
+				i, w.Process, ProcessPoisson, ProcessFixed)
+		}
+		offset = end
+	}
+	return arrivals, nil
+}
+
+// Target runs one cell — either the in-process serve.Server or an
+// HTTPTarget against a remote daemon. Rejections due to bounded
+// admission must be reported as errors wrapping serve.ErrOverloaded.
+type Target interface {
+	Do(ctx context.Context, req scenario.CellRequest) (*scenario.CellResult, error)
+}
+
+// Outcome aggregates one driven schedule. Sent == Completed + Rejected +
+// Errors always holds; Latencies has one entry per completion, in
+// completion order.
+type Outcome struct {
+	Sent      int
+	Completed int
+	Rejected  int
+	Errors    int
+	Elapsed   time.Duration
+	Latencies []time.Duration
+	FirstErr  error
+}
+
+// Drive fires the schedule open-loop: each arrival is sent at its
+// timestamp in its own goroutine whether or not earlier requests have
+// completed. Cancelling ctx stops firing further arrivals (in-flight
+// requests still drain).
+func Drive(ctx context.Context, target Target, arrivals []Arrival) (*Outcome, error) {
+	out := &Outcome{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	<-timer.C
+fire:
+	for _, a := range arrivals {
+		wait := a.At - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break fire
+			}
+		} else if ctx.Err() != nil {
+			break fire
+		}
+		out.Sent++
+		wg.Add(1)
+		go func(cell scenario.CellRequest) {
+			defer wg.Done()
+			reqStart := time.Now()
+			_, err := target.Do(ctx, cell)
+			lat := time.Since(reqStart)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				out.Completed++
+				out.Latencies = append(out.Latencies, lat)
+			case errors.Is(err, serve.ErrOverloaded):
+				out.Rejected++
+			default:
+				out.Errors++
+				if out.FirstErr == nil {
+					out.FirstErr = err
+				}
+			}
+		}(a.Cell)
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// quantile returns the q-th order latency in milliseconds (nearest-rank
+// on the sorted sample).
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}
+
+// Measure generates and drives one schedule, folding the outcome into a
+// RateStep with exact sample quantiles.
+func Measure(ctx context.Context, target Target, windows []Window, mix []scenario.CellRequest, seed int64) (*RateStep, error) {
+	arrivals, err := Generate(windows, mix, seed)
+	if err != nil {
+		return nil, err
+	}
+	var offered float64
+	var total time.Duration
+	for _, w := range windows {
+		offered += w.Rate * w.Duration.Seconds()
+		total += w.Duration
+	}
+	out, err := Drive(ctx, target, arrivals)
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]time.Duration(nil), out.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	step := &RateStep{
+		OfferedRate: offered / total.Seconds(),
+		Sent:        out.Sent,
+		Completed:   out.Completed,
+		Rejected:    out.Rejected,
+		Errors:      out.Errors,
+		P50Ms:       quantile(sorted, 0.50),
+		P95Ms:       quantile(sorted, 0.95),
+		P99Ms:       quantile(sorted, 0.99),
+	}
+	if out.Elapsed > 0 {
+		step.ThroughputPerSec = float64(out.Completed) / out.Elapsed.Seconds()
+	}
+	return step, nil
+}

@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locallab/internal/scenario"
+	"locallab/internal/serve"
+)
+
+func testMix() []scenario.CellRequest {
+	return []scenario.CellRequest{
+		{Family: "cycle", Solver: "cole-vishkin", N: 64, Seed: 1,
+			Engine: scenario.EngineParams{Workers: 1, Shards: 4}},
+		{Family: "cycle", Solver: "mis", N: 33, Seed: 2},
+	}
+}
+
+// TestGenerateDeterministic: the schedule — arrival times and cell
+// choices — is a pure function of (windows, mix, seed).
+func TestGenerateDeterministic(t *testing.T) {
+	windows := []Window{
+		{Process: ProcessPoisson, Rate: 50, Duration: time.Second},
+		{Process: ProcessFixed, Rate: 20, Duration: 500 * time.Millisecond},
+	}
+	a, err := Generate(windows, testMix(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(windows, testMix(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs under the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := Generate(windows, testMix(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Window boundaries hold, arrivals are time-ordered, and the fixed
+	// window contributes exactly rate×duration arrivals.
+	total := 1500 * time.Millisecond
+	fixed := 0
+	for i, ar := range a {
+		if ar.At < 0 || ar.At >= total {
+			t.Fatalf("arrival %d at %v outside schedule [0, %v)", i, ar.At, total)
+		}
+		if i > 0 && ar.At < a[i-1].At {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+		if ar.At >= time.Second {
+			fixed++
+		}
+	}
+	if fixed != 10 {
+		t.Fatalf("fixed window produced %d arrivals, want 10", fixed)
+	}
+}
+
+func TestGenerateRejects(t *testing.T) {
+	mix := testMix()
+	if _, err := Generate([]Window{{Process: "weird", Rate: 1, Duration: time.Second}}, mix, 1); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	if _, err := Generate([]Window{{Process: ProcessFixed, Rate: 0, Duration: time.Second}}, mix, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Generate([]Window{{Process: ProcessFixed, Rate: 1, Duration: 0}}, mix, 1); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := Generate([]Window{{Process: ProcessFixed, Rate: 1, Duration: time.Second}}, nil, 1); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+// TestDriveInProcess drives a short schedule against an in-process
+// server: the books must balance and completions carry latencies.
+func TestDriveInProcess(t *testing.T) {
+	srv := serve.New(serve.Options{})
+	defer srv.Close()
+	windows := []Window{{Process: ProcessFixed, Rate: 40, Duration: 500 * time.Millisecond}}
+	arrivals, err := Generate(windows, testMix(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Drive(context.Background(), srv, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sent != len(arrivals) {
+		t.Fatalf("sent %d of %d arrivals", out.Sent, len(arrivals))
+	}
+	if out.Completed+out.Rejected+out.Errors != out.Sent {
+		t.Fatalf("books do not balance: %+v", out)
+	}
+	if out.Errors != 0 {
+		t.Fatalf("errors under light load: %v", out.FirstErr)
+	}
+	if len(out.Latencies) != out.Completed {
+		t.Fatalf("%d latencies for %d completions", len(out.Latencies), out.Completed)
+	}
+}
+
+// TestSaturateHTTP runs a two-step ramp over HTTP against a live server
+// and checks the locallab.load/v1 envelope.
+func TestSaturateHTTP(t *testing.T) {
+	srv := serve.New(serve.Options{})
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	target := &HTTPTarget{BaseURL: hs.URL, Client: hs.Client()}
+	rep, err := Saturate(context.Background(), target, SaturationOptions{
+		Name:    "test",
+		Rates:   []float64{10, 20},
+		Window:  300 * time.Millisecond,
+		Process: ProcessPoisson,
+		Seed:    1,
+		Mix:     testMix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != LoadSchemaVersion || rep.Tool != "lcl-serve" {
+		t.Fatalf("bad envelope: %+v", rep)
+	}
+	if len(rep.Steps) != 2 {
+		t.Fatalf("%d steps, want 2", len(rep.Steps))
+	}
+	for i, s := range rep.Steps {
+		if s.Completed+s.Rejected+s.Errors != s.Sent {
+			t.Fatalf("step %d books do not balance: %+v", i, s)
+		}
+		if s.Errors != 0 {
+			t.Fatalf("step %d errored under light load", i)
+		}
+	}
+	if rep.SustainableRate <= 0 || rep.SustainableRatePerCore <= 0 {
+		t.Fatalf("no sustainable rate under light load: %+v", rep)
+	}
+	if _, err := rep.CanonicalJSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPTargetStatusMapping: a 429 from the daemon is classified as a
+// rejection (wraps serve.ErrOverloaded); other failures stay errors.
+func TestHTTPTargetStatusMapping(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+	target := &HTTPTarget{BaseURL: hs.URL, Client: hs.Client()}
+	_, err := target.Do(context.Background(), testMix()[0])
+	if !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("429 not classified as rejection: %v", err)
+	}
+
+	srv := serve.New(serve.Options{})
+	srv.Close() // closed server responds 503, which must stay an error
+	hs2 := httptest.NewServer(srv.Handler())
+	defer hs2.Close()
+	target2 := &HTTPTarget{BaseURL: hs2.URL, Client: hs2.Client()}
+	_, err = target2.Do(context.Background(), testMix()[0])
+	if err == nil || errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("503 misclassified: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"locallab/internal/scenario"
+)
+
+// LoadSchemaVersion identifies the load-report JSON schema.
+const LoadSchemaVersion = "locallab.load/v1"
+
+// SaturationOptions configures a saturation ramp: each offered rate in
+// Rates is driven for one Window of Process arrivals over Mix, with the
+// per-step workload seeded by Seed + step index (deterministic
+// schedules, step by step).
+type SaturationOptions struct {
+	Name    string
+	Rates   []float64
+	Window  time.Duration
+	Process string
+	Seed    int64
+	Mix     []scenario.CellRequest
+	// MaxRejectFraction is the admission-rejection budget for a rate to
+	// count as sustainable (default 0.01). A step with any hard errors is
+	// never sustainable.
+	MaxRejectFraction float64
+}
+
+// RateStep is one measured point of the ramp.
+type RateStep struct {
+	OfferedRate      float64 `json:"offered_rate"`
+	Sent             int     `json:"sent"`
+	Completed        int     `json:"completed"`
+	Rejected         int     `json:"rejected"`
+	Errors           int     `json:"errors"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	Sustainable      bool    `json:"sustainable"`
+}
+
+// Report is the locallab.load/v1 envelope: the ramp's configuration,
+// every measured step, and the highest sustainable offered rate
+// (absolute and per core).
+type Report struct {
+	Schema                 string     `json:"schema"`
+	Tool                   string     `json:"tool"`
+	Name                   string     `json:"name"`
+	Process                string     `json:"process"`
+	Seed                   int64      `json:"seed"`
+	WindowSeconds          float64    `json:"window_seconds"`
+	Cores                  int        `json:"cores"`
+	Steps                  []RateStep `json:"steps"`
+	SustainableRate        float64    `json:"sustainable_rate"`
+	SustainableRatePerCore float64    `json:"sustainable_rate_per_core"`
+}
+
+// CanonicalJSON renders the report two-space indented with a trailing
+// newline, the repo-wide report byte discipline.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("load report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Saturate ramps the offered rate over opts.Rates and reports each
+// step's completion/rejection split and latency quantiles. A step is
+// sustainable when nothing hard-errored and the rejected fraction stays
+// within MaxRejectFraction; SustainableRate is the highest sustainable
+// offered rate observed.
+func Saturate(ctx context.Context, target Target, opts SaturationOptions) (*Report, error) {
+	if len(opts.Rates) == 0 {
+		return nil, fmt.Errorf("loadgen: no ramp rates")
+	}
+	if opts.Window <= 0 {
+		return nil, fmt.Errorf("loadgen: window %v must be positive", opts.Window)
+	}
+	if opts.Process == "" {
+		opts.Process = ProcessPoisson
+	}
+	if opts.MaxRejectFraction <= 0 {
+		opts.MaxRejectFraction = 0.01
+	}
+	rep := &Report{
+		Schema:        LoadSchemaVersion,
+		Tool:          "lcl-serve",
+		Name:          opts.Name,
+		Process:       opts.Process,
+		Seed:          opts.Seed,
+		WindowSeconds: opts.Window.Seconds(),
+		Cores:         runtime.GOMAXPROCS(0),
+	}
+	for i, rate := range opts.Rates {
+		windows := []Window{{Process: opts.Process, Rate: rate, Duration: opts.Window}}
+		step, err := Measure(ctx, target, windows, opts.Mix, opts.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if step.Sent > 0 {
+			rejectFrac := float64(step.Rejected) / float64(step.Sent)
+			step.Sustainable = step.Errors == 0 && rejectFrac <= opts.MaxRejectFraction
+		}
+		if step.Sustainable && step.OfferedRate > rep.SustainableRate {
+			rep.SustainableRate = step.OfferedRate
+		}
+		rep.Steps = append(rep.Steps, *step)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	rep.SustainableRatePerCore = rep.SustainableRate / float64(rep.Cores)
+	return rep, nil
+}

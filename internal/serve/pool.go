@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"sync"
+
+	"locallab/internal/scenario"
+)
+
+// poolKey is the full cell identity. Instance construction is
+// seed-driven (graph.BuildFamily and core.BuildInstance both consume the
+// seed), so a prepared runner is only reusable for the identical
+// (family, solver, n, seed) cell; engine workers/shards never change
+// outputs but are part of the key so pooled runs reproduce the exact
+// requested configuration.
+type poolKey struct {
+	family, solver  string
+	n               int
+	seed            int64
+	workers, shards int
+}
+
+func keyOf(req scenario.CellRequest) poolKey {
+	return poolKey{
+		family:  req.Family,
+		solver:  req.Solver,
+		n:       req.N,
+		seed:    req.Seed,
+		workers: req.Engine.Workers,
+		shards:  req.Engine.Shards,
+	}
+}
+
+// pool keeps idle prepared runners keyed by cell identity, bounded by a
+// total idle count with oldest-first eviction. Construction of a missing
+// runner happens outside the lock, so a slow graph build never blocks
+// hits on other cells.
+type pool struct {
+	mu      sync.Mutex
+	maxIdle int
+	idle    map[poolKey][]*scenario.CellRunner
+	order   []poolKey // release order of idle runners, oldest first
+	total   int
+	hits    int64
+	misses  int64
+	closed  bool
+}
+
+func newPool(maxIdle int) *pool {
+	return &pool{
+		maxIdle: maxIdle,
+		idle:    map[poolKey][]*scenario.CellRunner{},
+	}
+}
+
+// acquire returns a pooled runner for the request's cell, or prepares a
+// fresh one on a pool miss. The caller owns the runner until it either
+// releases it back or closes it.
+func (p *pool) acquire(req scenario.CellRequest) (*scenario.CellRunner, error) {
+	key := keyOf(req)
+	p.mu.Lock()
+	if rs := p.idle[key]; len(rs) > 0 {
+		r := rs[len(rs)-1]
+		p.idle[key] = rs[:len(rs)-1]
+		p.removeFromOrder(key)
+		p.total--
+		p.hits++
+		p.mu.Unlock()
+		return r, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+	return scenario.NewRunner(req)
+}
+
+// release returns a runner to the idle set, evicting the oldest idle
+// runner if the total idle bound is hit. Runners released after close
+// are closed immediately.
+func (p *pool) release(r *scenario.CellRunner) {
+	key := keyOf(r.Request())
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		r.Close()
+		return
+	}
+	var evicted *scenario.CellRunner
+	if p.total >= p.maxIdle && len(p.order) > 0 {
+		oldest := p.order[0]
+		p.order = p.order[1:]
+		rs := p.idle[oldest]
+		evicted = rs[0]
+		if len(rs) == 1 {
+			delete(p.idle, oldest)
+		} else {
+			p.idle[oldest] = rs[1:]
+		}
+		p.total--
+	}
+	p.idle[key] = append(p.idle[key], r)
+	p.order = append(p.order, key)
+	p.total++
+	p.mu.Unlock()
+	if evicted != nil {
+		evicted.Close()
+	}
+}
+
+// removeFromOrder drops one (the oldest) order entry for key; callers
+// hold the lock.
+func (p *pool) removeFromOrder(key poolKey) {
+	for i, k := range p.order {
+		if k == key {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *pool) counters() (hits, misses int64, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.total
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	idle := p.idle
+	p.idle = map[poolKey][]*scenario.CellRunner{}
+	p.order = nil
+	p.total = 0
+	p.mu.Unlock()
+	for _, rs := range idle {
+		for _, r := range rs {
+			r.Close()
+		}
+	}
+}

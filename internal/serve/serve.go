@@ -1,0 +1,244 @@
+// Package serve is the open-loop serving layer: a daemon that accepts
+// scenario-cell requests (family × n × seed × solver × engine params),
+// runs them on a pool of pre-warmed prepared runners, and returns
+// locallab.report/v1 cell fragments byte-identical to what lcl-scenario
+// reports for the same cell. Admission is a bounded queue drained by a
+// fixed worker pool: when the queue is full the server rejects loudly
+// (ErrOverloaded / HTTP 429) instead of building unbounded backlog, so
+// open-loop load generators measure real saturation behaviour.
+//
+// Invariants:
+//
+//   - Byte-identity: a served cell's deterministic fields ({n, seed,
+//     nodes, edges, rounds, messages, relay_words, checksum}) are exactly
+//     the lcl-scenario report cell for the same request — pooled and
+//     fresh runners included (internal/scenario pins the mapping).
+//   - Bounded admission: at most QueueDepth requests wait; overflow is
+//     an immediate, counted rejection, never silent queueing.
+//   - Loud validation: invalid requests are rejected before admission
+//     with the exact scenario-package error messages.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"locallab/internal/scenario"
+)
+
+// ErrOverloaded reports that the admission queue was full at arrival.
+// The HTTP layer maps it to 429; loadgen classifies it as a rejection
+// rather than an error.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// ErrClosed reports a request to a server that has shut down.
+var ErrClosed = errors.New("serve: server closed")
+
+// Options tunes the serving daemon. Zero values select the defaults; no
+// option changes served bytes, only scheduling and admission capacity.
+type Options struct {
+	// QueueDepth bounds the admission queue (default 64). Requests
+	// arriving while QueueDepth requests wait are rejected with
+	// ErrOverloaded.
+	QueueDepth int
+	// Workers is the number of cell-executing workers draining the queue
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// PoolMaxIdle bounds the total idle runners kept across all cells
+	// (default 64); the oldest idle runner is evicted (and closed) when
+	// the bound is hit.
+	PoolMaxIdle int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = defaultWorkers()
+	}
+	if o.PoolMaxIdle <= 0 {
+		o.PoolMaxIdle = 64
+	}
+	return o
+}
+
+type jobResult struct {
+	cell *scenario.CellResult
+	err  error
+}
+
+type job struct {
+	req  scenario.CellRequest
+	done chan jobResult // buffered 1: workers never block on delivery
+}
+
+// Server runs scenario cells from a bounded queue on a fixed worker
+// pool, reusing prepared runners via a keyed session pool. Safe for
+// concurrent use.
+type Server struct {
+	opts  Options
+	queue chan *job
+	pool  *pool
+	stats *stats
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex // guards closed and the enqueue-vs-Close race
+	closed bool
+}
+
+// New starts a server with opts.Workers workers draining the queue.
+func New(opts Options) *Server {
+	return newServer(opts, true)
+}
+
+// newServer optionally skips starting the workers — the overflow tests
+// use a drained-by-nobody queue to fill admission deterministically.
+func newServer(opts Options, startWorkers bool) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		queue: make(chan *job, opts.QueueDepth),
+		pool:  newPool(opts.PoolMaxIdle),
+		stats: newStats(),
+	}
+	if startWorkers {
+		s.wg.Add(opts.Workers)
+		for i := 0; i < opts.Workers; i++ {
+			go s.worker()
+		}
+	}
+	return s
+}
+
+// Do submits one cell request and waits for its result. Invalid requests
+// fail before admission with the exact scenario validation message; a
+// full queue fails immediately with ErrOverloaded. Cancelling ctx
+// abandons the wait (an already-admitted job still runs to completion).
+func (s *Server) Do(ctx context.Context, req scenario.CellRequest) (*scenario.CellResult, error) {
+	if err := req.Validate(); err != nil {
+		s.stats.invalid.Add(1)
+		return nil, err
+	}
+	j := &job{req: req, done: make(chan jobResult, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.stats.accepted.Add(1)
+	default:
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case r := <-j.done:
+		return r.cell, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Prewarm prepares one pooled runner per request, so the first real
+// request for each cell skips graph build and session construction.
+// Requests beyond the pool's idle bound evict older entries.
+func (s *Server) Prewarm(reqs []scenario.CellRequest) error {
+	for _, req := range reqs {
+		if err := req.Validate(); err != nil {
+			return err
+		}
+		r, err := scenario.NewRunner(req)
+		if err != nil {
+			return err
+		}
+		s.pool.release(r)
+	}
+	return nil
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return s.stats.snapshot(len(s.queue), cap(s.queue), s.pool)
+}
+
+// Close stops admission, drains in-flight work, and releases every
+// pooled runner. Do calls racing Close either complete or fail with
+// ErrClosed; none panic.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.pool.close()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		j.done <- s.runJob(j.req)
+	}
+}
+
+func (s *Server) runJob(req scenario.CellRequest) jobResult {
+	start := time.Now()
+	r, err := s.pool.acquire(req)
+	if err != nil {
+		s.stats.errored.Add(1)
+		return jobResult{err: err}
+	}
+	cell, err := r.Run()
+	if err != nil {
+		// A failed run may leave the prepared instance in an undefined
+		// state; close it instead of returning it to the pool.
+		r.Close()
+		s.stats.errored.Add(1)
+		return jobResult{err: err}
+	}
+	s.pool.release(r)
+	s.stats.completed.Add(1)
+	s.stats.observe(req.Solver, time.Since(start))
+	return jobResult{cell: cell}
+}
+
+// resolveBuiltinMix maps a builtin spec name to the flat list of its
+// grid cells — the serving layer's prewarm and loadgen mix shorthand.
+func resolveBuiltinMix(name string) ([]scenario.CellRequest, error) {
+	spec, ok := scenario.Builtin(name)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown builtin spec %q", name)
+	}
+	var mix []scenario.CellRequest
+	for i := range spec.Scenarios {
+		sc := &spec.Scenarios[i]
+		for _, n := range sc.Sizes {
+			for _, seed := range sc.Seeds {
+				mix = append(mix, scenario.CellRequest{
+					Family: sc.Family,
+					Solver: sc.Solver,
+					N:      n,
+					Seed:   seed,
+					Engine: sc.Engine,
+				})
+			}
+		}
+	}
+	return mix, nil
+}
+
+// BuiltinMix exposes resolveBuiltinMix for cmd/lcl-serve and loadgen
+// drivers: the cells of a builtin spec in size-major grid order.
+func BuiltinMix(name string) ([]scenario.CellRequest, error) {
+	return resolveBuiltinMix(name)
+}

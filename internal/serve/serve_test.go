@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"locallab/internal/scenario"
+)
+
+func cvCell(workers, shards int) scenario.CellRequest {
+	return scenario.CellRequest{
+		Family: "cycle", Solver: "cole-vishkin", N: 64, Seed: 1,
+		Engine: scenario.EngineParams{Workers: workers, Shards: shards},
+	}
+}
+
+// TestDoMatchesScenarioRun: a served cell — pooled or fresh — must be
+// identical to the lcl-scenario report cell for the same request, across
+// engine geometries, including a padded native cell where relay_words is
+// load-bearing.
+func TestDoMatchesScenarioRun(t *testing.T) {
+	reqs := []scenario.CellRequest{
+		cvCell(1, 1),
+		cvCell(2, 8),
+		cvCell(4, 16),
+		{Family: scenario.PaddedFamily, Solver: "pi2-rand-native", N: 12, Seed: 1,
+			Engine: scenario.EngineParams{Workers: 2, Shards: 8}},
+	}
+	s := New(Options{})
+	defer s.Close()
+	for _, req := range reqs {
+		want, err := scenario.RunCell(req)
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", req.Solver, err)
+		}
+		// Three served rounds: miss (build), hit (pooled reuse), hit again.
+		for round := 0; round < 3; round++ {
+			got, err := s.Do(context.Background(), req)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", req.Solver, round, err)
+			}
+			if *got != *want {
+				t.Fatalf("%s round %d: served cell differs from scenario cell:\n got %+v\nwant %+v",
+					req.Solver, round, *got, *want)
+			}
+		}
+	}
+	padded, err := s.Do(context.Background(), reqs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.RelayWords == 0 {
+		t.Fatal("padded native cell reported zero relay_words")
+	}
+	st := s.Stats()
+	if st.PoolHits == 0 || st.PoolMisses == 0 {
+		t.Fatalf("expected pool hits and misses, got %+v", st)
+	}
+	if st.Completed != st.Accepted {
+		t.Fatalf("completed %d != accepted %d", st.Completed, st.Accepted)
+	}
+}
+
+// TestDoValidation: invalid requests fail before admission with the
+// exact scenario message and are counted, not queued.
+func TestDoValidation(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	_, err := s.Do(context.Background(), scenario.CellRequest{Family: "cycle", Solver: "nope", N: 16, Seed: 1})
+	if err == nil {
+		t.Fatal("invalid request accepted")
+	}
+	if want := `cell: unknown solver "nope"`; len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Fatalf("error %q does not start with %q", err.Error(), want)
+	}
+	st := s.Stats()
+	if st.Invalid != 1 || st.Accepted != 0 {
+		t.Fatalf("want invalid=1 accepted=0, got %+v", st)
+	}
+}
+
+// TestOverflowRejects fills the admission queue of a worker-less server:
+// exactly QueueDepth jobs are admitted and the rest rejected immediately
+// with ErrOverloaded.
+func TestOverflowRejects(t *testing.T) {
+	s := newServer(Options{QueueDepth: 4}, false)
+	var rejected int
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // admitted jobs: don't wait for a worker that never comes
+		_, err := s.Do(ctx, cvCell(1, 1))
+		if errors.Is(err, ErrOverloaded) {
+			rejected++
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("request %d: unexpected error %v", i, err)
+		}
+	}
+	if rejected != 6 {
+		t.Fatalf("rejected %d of 10 with queue depth 4, want 6", rejected)
+	}
+	st := s.Stats()
+	if st.Accepted != 4 || st.Rejected != 6 || st.QueueDepth != 4 || st.QueueCapacity != 4 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// TestConcurrentLoad is the race-detector workout: concurrent clients
+// over two distinct cells against a tiny queue. No request is lost or
+// duplicated — every Do returns either its own cell's result or a
+// counted rejection — and the books balance.
+func TestConcurrentLoad(t *testing.T) {
+	s := New(Options{QueueDepth: 2, Workers: 2, PoolMaxIdle: 2})
+	defer s.Close()
+	cells := []scenario.CellRequest{
+		cvCell(1, 4),
+		{Family: "cycle", Solver: "cole-vishkin", N: 128, Seed: 7, Engine: scenario.EngineParams{Workers: 1, Shards: 4}},
+	}
+	want := make([]*scenario.CellResult, len(cells))
+	for i, req := range cells {
+		w, err := scenario.RunCell(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+	const clients = 8
+	const perClient = 10
+	var mu sync.Mutex
+	completed, rejectedCount := 0, 0
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				k := (c + i) % len(cells)
+				got, err := s.Do(context.Background(), cells[k])
+				mu.Lock()
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					rejectedCount++
+				case err != nil:
+					t.Errorf("client %d: %v", c, err)
+				case *got != *want[k]:
+					t.Errorf("client %d: response does not match request identity:\n got %+v\nwant %+v", c, *got, *want[k])
+				default:
+					completed++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if completed+rejectedCount != clients*perClient {
+		t.Fatalf("lost requests: completed %d + rejected %d != sent %d", completed, rejectedCount, clients*perClient)
+	}
+	st := s.Stats()
+	if st.Completed != int64(completed) || st.Rejected != int64(rejectedCount) {
+		t.Fatalf("stats disagree with client books: %+v vs completed %d rejected %d", st, completed, rejectedCount)
+	}
+}
+
+// TestPoolEviction: the idle bound holds and evicted runners are the
+// oldest released.
+func TestPoolEviction(t *testing.T) {
+	p := newPool(2)
+	for seed := int64(1); seed <= 3; seed++ {
+		req := scenario.CellRequest{Family: "cycle", Solver: "mis", N: 16, Seed: seed}
+		r, err := scenario.NewRunner(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.release(r)
+	}
+	_, _, idle := p.counters()
+	if idle != 2 {
+		t.Fatalf("idle %d after releasing 3 into bound 2", idle)
+	}
+	// Seed 1 was evicted; seeds 2 and 3 should be pool hits.
+	for seed := int64(2); seed <= 3; seed++ {
+		r, err := p.acquire(scenario.CellRequest{Family: "cycle", Solver: "mis", N: 16, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+	}
+	hits, misses, idle := p.counters()
+	if hits != 2 || misses != 0 || idle != 0 {
+		t.Fatalf("want 2 hits 0 misses 0 idle, got %d/%d/%d", hits, misses, idle)
+	}
+	if _, err := p.acquire(scenario.CellRequest{Family: "cycle", Solver: "mis", N: 16, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, misses, _ = p.counters()
+	if misses != 1 {
+		t.Fatalf("evicted cell should miss, misses = %d", misses)
+	}
+	p.close()
+}
+
+// TestBuiltinMix flattens ci-smoke into its grid cells.
+func TestBuiltinMix(t *testing.T) {
+	mix, err := BuiltinMix("ci-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := scenario.Builtin("ci-smoke")
+	wantLen := 0
+	for i := range spec.Scenarios {
+		wantLen += len(spec.Scenarios[i].Sizes) * len(spec.Scenarios[i].Seeds)
+	}
+	if len(mix) != wantLen {
+		t.Fatalf("mix has %d cells, want %d", len(mix), wantLen)
+	}
+	for i, req := range mix {
+		if err := req.Validate(); err != nil {
+			t.Fatalf("mix cell %d invalid: %v", i, err)
+		}
+	}
+	if _, err := BuiltinMix("nope"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}

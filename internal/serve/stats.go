@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// stats holds the server's counters: atomics for the hot admission path,
+// a mutex-guarded per-solver latency histogram for completions.
+type stats struct {
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	invalid   atomic.Int64
+	completed atomic.Int64
+	errored   atomic.Int64
+
+	mu        sync.Mutex
+	histogram map[string]*latencyHist
+}
+
+func newStats() *stats {
+	return &stats{histogram: map[string]*latencyHist{}}
+}
+
+// latencyHist is a log2-bucketed latency histogram: bucket i counts
+// completions with latency in [2^i, 2^(i+1)) microseconds. Quantiles are
+// read as the upper bound of the bucket holding the quantile rank —
+// a ≤2× overestimate, plenty for /debug/stats triage.
+type latencyHist struct {
+	buckets [40]int64
+	count   int64
+	sumNs   int64
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= len(latencyHist{}.buckets) {
+		b = len(latencyHist{}.buckets) - 1
+	}
+	return b
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sumNs += d.Nanoseconds()
+}
+
+// quantileMs returns the upper bound, in milliseconds, of the bucket
+// containing rank q·count.
+func (h *latencyHist) quantileMs(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count-1))
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if c > 0 && seen > rank {
+			upperUs := int64(1) << (i + 1)
+			return float64(upperUs) / 1e3
+		}
+	}
+	return 0
+}
+
+func (s *stats) observe(solver string, d time.Duration) {
+	s.mu.Lock()
+	h := s.histogram[solver]
+	if h == nil {
+		h = &latencyHist{}
+		s.histogram[solver] = h
+	}
+	h.observe(d)
+	s.mu.Unlock()
+}
+
+// SolverStats summarizes one solver's completed-request latencies.
+// Quantiles are log2-bucket upper bounds (≤2× overestimates).
+type SolverStats struct {
+	Requests int64   `json:"requests"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Stats is the /debug/stats snapshot.
+type Stats struct {
+	Accepted      int64                  `json:"accepted"`
+	Rejected      int64                  `json:"rejected"`
+	Invalid       int64                  `json:"invalid"`
+	Completed     int64                  `json:"completed"`
+	Errored       int64                  `json:"errored"`
+	QueueDepth    int                    `json:"queue_depth"`
+	QueueCapacity int                    `json:"queue_capacity"`
+	PoolHits      int64                  `json:"pool_hits"`
+	PoolMisses    int64                  `json:"pool_misses"`
+	PoolIdle      int                    `json:"pool_idle"`
+	Solvers       map[string]SolverStats `json:"solvers,omitempty"`
+}
+
+func (s *stats) snapshot(queueDepth, queueCap int, p *pool) Stats {
+	hits, misses, idle := p.counters()
+	out := Stats{
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Invalid:       s.invalid.Load(),
+		Completed:     s.completed.Load(),
+		Errored:       s.errored.Load(),
+		QueueDepth:    queueDepth,
+		QueueCapacity: queueCap,
+		PoolHits:      hits,
+		PoolMisses:    misses,
+		PoolIdle:      idle,
+	}
+	s.mu.Lock()
+	if len(s.histogram) > 0 {
+		out.Solvers = make(map[string]SolverStats, len(s.histogram))
+		for name, h := range s.histogram {
+			st := SolverStats{
+				Requests: h.count,
+				P50Ms:    h.quantileMs(0.50),
+				P95Ms:    h.quantileMs(0.95),
+				P99Ms:    h.quantileMs(0.99),
+			}
+			if h.count > 0 {
+				st.MeanMs = float64(h.sumNs) / float64(h.count) / 1e6
+			}
+			out.Solvers[name] = st
+		}
+	}
+	s.mu.Unlock()
+	return out
+}

@@ -267,18 +267,13 @@ func (s *MessageSolver) Randomized() bool { return true }
 
 // Solve implements lcl.Solver.
 func (s *MessageSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lcl.Labeling, *local.Cost, error) {
-	if err := checkSolvable(g); err != nil {
-		return nil, nil, err
-	}
-	n := g.NumNodes()
-	var (
-		stats engine.Stats
-		err   error
-		outs  = make([][]bool, n) // per-node out-edge flags, either path
-	)
 	if s.Engine.Options().Sequential {
 		// Boxed oracle path: the original interface{}-message machine on
 		// the sequential reference implementation.
+		if err := checkSolvable(g); err != nil {
+			return nil, nil, err
+		}
+		n := g.NumNodes()
 		machines := make([]local.Machine, n)
 		states := make([]*smachine, n)
 		for v := range machines {
@@ -286,27 +281,31 @@ func (s *MessageSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lc
 			machines[v] = sm
 			states[v] = sm
 		}
-		stats, err = local.RunStatsWith(s.Engine, g, machines, seed, true, s.MaxRounds)
+		stats, err := local.RunStatsWith(s.Engine, g, machines, seed, true, s.MaxRounds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("message solver: %w", err)
+		}
+		outs := make([][]bool, n)
 		for v := range states {
 			outs[v] = states[v].out
 		}
-	} else {
-		// Production path: unboxed machines on the typed engine core.
-		machines := make([]smTyped, n)
-		typed := make([]engine.TypedMachine[smMsg], n)
-		for v := range typed {
-			typed[v] = &machines[v]
-		}
-		stats, err = local.RunStatsTyped(s.Engine, g, typed, seed, true, s.MaxRounds)
-		for v := range machines {
-			outs[v] = machines[v].out
-		}
+		s.LastStats = stats
+		return msgFinish(g, outs, stats.Rounds)
 	}
+	// Production path: unboxed machines on the typed engine core, run as
+	// a one-shot session.
+	sess, err := s.NewSolverSession(g)
 	if err != nil {
-		return nil, nil, fmt.Errorf("message solver: %w", err)
+		return nil, nil, err
 	}
-	rounds := stats.Rounds
-	s.LastStats = stats
+	defer sess.Close()
+	return sess.Solve(in, seed)
+}
+
+// msgFinish assembles the half-edge orientation labeling and cost; it is
+// the post-processing shared by the boxed oracle path and the typed
+// session path.
+func msgFinish(g *graph.Graph, outs [][]bool, rounds int) (*lcl.Labeling, *local.Cost, error) {
 	out := lcl.NewLabeling(g)
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
 		for p, o := range outs[v] {
@@ -324,3 +323,60 @@ func (s *MessageSolver) Solve(g *graph.Graph, in *lcl.Labeling, seed int64) (*lc
 	}
 	return out, cost, nil
 }
+
+// MsgSession pins a sinkless-orientation message-passing execution to
+// one graph: the typed machines and the engine session (flat message
+// planes, shard table, worker pool) are allocated once and reused across
+// Solve calls through engine.Session.Reset, so repeated solves of the
+// same instance skip all session construction. Not safe for concurrent
+// use.
+type MsgSession struct {
+	s        *MessageSolver
+	g        *graph.Graph
+	machines []smTyped
+	sess     *engine.Session[smMsg]
+}
+
+var _ lcl.SolverSession = (*MsgSession)(nil)
+
+// NewSolverSession implements lcl.SessionSolver. A sequential engine has
+// no typed session — callers get lcl.ErrNoSession and fall back to
+// Solve's boxed oracle path.
+func (s *MessageSolver) NewSolverSession(g *graph.Graph) (lcl.SolverSession, error) {
+	if err := checkSolvable(g); err != nil {
+		return nil, err
+	}
+	if s.Engine.Options().Sequential {
+		return nil, fmt.Errorf("message solver: sequential engine: %w", lcl.ErrNoSession)
+	}
+	n := g.NumNodes()
+	ms := &MsgSession{s: s, g: g, machines: make([]smTyped, n)}
+	typed := make([]engine.TypedMachine[smMsg], n)
+	for v := range typed {
+		typed[v] = &ms.machines[v]
+	}
+	sess, err := engine.NewCore[smMsg](s.Engine.Options()).NewSession(g, typed)
+	if err != nil {
+		return nil, err
+	}
+	ms.sess = sess
+	return ms, nil
+}
+
+// Solve implements lcl.SolverSession. The input labeling is unused (the
+// problem has no input labels), exactly as in MessageSolver.Solve.
+func (ms *MsgSession) Solve(_ *lcl.Labeling, seed int64) (*lcl.Labeling, *local.Cost, error) {
+	stats, err := ms.sess.Run(seed, true, ms.s.MaxRounds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("message solver: %w", err)
+	}
+	outs := make([][]bool, len(ms.machines))
+	for v := range ms.machines {
+		outs[v] = ms.machines[v].out
+	}
+	ms.s.LastStats = stats
+	return msgFinish(ms.g, outs, stats.Rounds)
+}
+
+// Close releases the pinned engine session's worker pool.
+func (ms *MsgSession) Close() { ms.sess.Close() }

@@ -36,6 +36,7 @@ package solver
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 
@@ -132,9 +133,51 @@ type Entry struct {
 	// counterpart cell for cell.
 	Oracle bool
 
-	// Run measures one grid cell: build the instance, solve, verify, and
-	// fingerprint.
-	Run func(req Request) (*Outcome, error)
+	// Prepare builds one grid cell's instance — and whatever the entry
+	// can pin for reuse: hierarchy instances, typed engine sessions — and
+	// returns a runner executing the cell. One-shot callers use the Run
+	// method instead; the serving layer holds Prepared cells in its
+	// session pool to amortize construction across repeated requests.
+	Prepare func(req Request) (Prepared, error)
+}
+
+// Prepared is one built grid cell: the instance is constructed and any
+// reusable execution state (typed engine sessions with their message
+// planes and worker pools, padded hierarchy instances) is held ready, so
+// Run can be invoked repeatedly without paying construction again. Every
+// Run re-solves the identical cell under the request's seed and must
+// fingerprint identically each time — the serving layer's
+// pooled-vs-fresh parity tests pin this. Prepared cells are not safe for
+// concurrent use; Close releases pinned engine resources.
+type Prepared interface {
+	Run() (*Outcome, error)
+	Close()
+}
+
+// prepared is the common Prepared implementation: a run closure over
+// state built at Prepare time plus an optional release hook.
+type prepared struct {
+	run     func() (*Outcome, error)
+	release func()
+}
+
+func (p *prepared) Run() (*Outcome, error) { return p.run() }
+
+func (p *prepared) Close() {
+	if p.release != nil {
+		p.release()
+	}
+}
+
+// Run measures one grid cell end to end: Prepare, a single Run, Close.
+// It is the one-shot path the batch CLIs and the scenario grid use.
+func (e Entry) Run(req Request) (*Outcome, error) {
+	p, err := e.Prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	return p.Run()
 }
 
 // CheckFamily validates a resolved family name against the entry's
@@ -158,193 +201,171 @@ func (e Entry) CheckFamily(family string) error {
 	return nil
 }
 
-// lclRun builds a family instance, solves, verifies against the problem,
-// and fingerprints the labeling.
-func lclRun(req Request, s lcl.Solver, p lcl.Problem) (*Outcome, error) {
+// lclPrepare builds a family instance once and returns a runner that
+// solves, verifies against the problem, and fingerprints the labeling on
+// every Run. Solvers exposing the lcl.SessionSolver capability get their
+// typed engine session pinned to the graph here, so repeated Runs reuse
+// the session's message planes and worker pool through Reset instead of
+// rebuilding them; solvers without the capability (or whose
+// configuration yields lcl.ErrNoSession) re-solve on the cached graph.
+// stats, when non-nil, is sampled after each solve to record the
+// engine's execution profile.
+func lclPrepare(req Request, s lcl.Solver, p lcl.Problem, stats func() engine.Stats) (Prepared, error) {
 	g, err := graph.BuildFamily(req.Family, req.N, req.Seed)
 	if err != nil {
 		return nil, err
 	}
-	in := lcl.NewLabeling(g)
-	out, cost, err := s.Solve(g, in, req.Seed)
+	solve := func(in *lcl.Labeling, seed int64) (*lcl.Labeling, *local.Cost, error) {
+		return s.Solve(g, in, seed)
+	}
+	var release func()
+	if ss, ok := s.(lcl.SessionSolver); ok {
+		sess, err := ss.NewSolverSession(g)
+		switch {
+		case err == nil:
+			solve = sess.Solve
+			release = sess.Close
+		case !errors.Is(err, lcl.ErrNoSession):
+			return nil, err
+		}
+	}
+	run := func() (*Outcome, error) {
+		in := lcl.NewLabeling(g)
+		out, cost, err := solve(in, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := lcl.Verify(g, p, in, out); err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		o := &Outcome{
+			Nodes:    g.NumNodes(),
+			Edges:    g.NumEdges(),
+			Rounds:   cost.Rounds(),
+			Checksum: LabelingChecksum(out),
+			G:        g,
+			In:       in,
+			Out:      out,
+			Cost:     cost,
+		}
+		if stats != nil {
+			o.Stats = stats()
+		}
+		return o, nil
+	}
+	return &prepared{run: run, release: release}, nil
+}
+
+// paddedSolve is a bound SolveDetailed of one padded solver.
+type paddedSolve func(g *graph.Graph, in *lcl.Labeling, seed int64) (*core.Detail, error)
+
+// paddedPrepare builds a balanced level-2 instance once — BuildInstance
+// is by far the dominant construction cost of padded cells — and returns
+// a runner executing the given padded solve on it. engineDetail selects
+// whether the Detail's engine profile (Stats, RelayWords) is recorded:
+// true for the engine-backed entries, false for the sequential oracles.
+func paddedPrepare(req Request, mkSolve func(lvl *core.Level, eng *engine.Engine) (paddedSolve, error), engineDetail bool) (Prepared, error) {
+	lvl, err := core.NewLevel(2)
 	if err != nil {
 		return nil, err
 	}
-	if err := lcl.Verify(g, p, in, out); err != nil {
-		return nil, fmt.Errorf("verify: %w", err)
+	solve, err := mkSolve(lvl, req.Engine)
+	if err != nil {
+		return nil, err
 	}
-	return &Outcome{
-		Nodes:    g.NumNodes(),
-		Edges:    g.NumEdges(),
-		Rounds:   cost.Rounds(),
-		Checksum: LabelingChecksum(out),
-		G:        g,
-		In:       in,
-		Out:      out,
-		Cost:     cost,
-	}, nil
-}
-
-// paddedOracleRun builds a balanced level-2 instance and runs the
-// sequential Lemma-4 oracle (centralized Ψ walk + one centralized inner
-// Solve call) on it: the reference the native-machine entries are
-// differential-tested against. Oracle entries are not engine-aware; their
-// checksums must equal the corresponding pi2-* entries' cell for cell.
-func paddedOracleRun(pick func(lvl *core.Level) lcl.Solver) func(Request) (*Outcome, error) {
-	return func(req Request) (*Outcome, error) {
-		lvl, err := core.NewLevel(2)
+	inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
+	if err != nil {
+		return nil, err
+	}
+	run := func() (*Outcome, error) {
+		// A fresh copy of the input labeling per Run keeps repeated
+		// executions of one prepared cell bit-identical even if a solver
+		// scratches on its input.
+		in := inst.In.Clone()
+		d, err := solve(inst.G, in, req.Seed)
 		if err != nil {
 			return nil, err
 		}
-		s, ok := pick(lvl).(*core.PaddedSolver)
-		if !ok {
-			return nil, fmt.Errorf("level 2 has no sequential padded solver")
-		}
-		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
-		if err != nil {
-			return nil, err
-		}
-		d, err := s.SolveDetailed(inst.G, inst.In, req.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := lvl.Verify(inst.G, inst.In, d.Out); err != nil {
+		if err := lvl.Verify(inst.G, in, d.Out); err != nil {
 			return nil, fmt.Errorf("verify: %w", err)
 		}
-		return &Outcome{
+		o := &Outcome{
 			Nodes:    inst.G.NumNodes(),
 			Edges:    inst.G.NumEdges(),
 			Rounds:   d.Cost.Rounds(),
 			Checksum: LabelingChecksum(d.Out),
 			G:        inst.G,
-			In:       inst.In,
+			In:       in,
 			Out:      d.Out,
 			Cost:     d.Cost,
 			Padded:   d,
 			Instance: inst,
-		}, nil
+		}
+		if engineDetail {
+			o.Stats = engine.Stats{Rounds: d.Engine.Rounds(), Deliveries: d.Engine.Deliveries()}
+			o.RelayWords = d.Engine.RelayWords
+		}
+		return o, nil
+	}
+	return &prepared{run: run}, nil
+}
+
+// paddedOraclePrepare is the sequential Lemma-4 oracle (centralized Ψ
+// walk + one centralized inner Solve call): the reference the
+// native-machine entries are differential-tested against. Oracle entries
+// are not engine-aware; their checksums must equal the corresponding
+// pi2-* entries' cell for cell.
+func paddedOraclePrepare(pick func(lvl *core.Level) lcl.Solver) func(Request) (Prepared, error) {
+	return func(req Request) (Prepared, error) {
+		return paddedPrepare(req, func(lvl *core.Level, _ *engine.Engine) (paddedSolve, error) {
+			s, ok := pick(lvl).(*core.PaddedSolver)
+			if !ok {
+				return nil, fmt.Errorf("level 2 has no sequential padded solver")
+			}
+			return s.SolveDetailed, nil
+		}, false)
 	}
 }
 
-// paddedRun builds a balanced level-2 instance and runs the engine-backed
-// hierarchy solver on it: the whole Lemma-4 pipeline — Ψ fixpoint
-// machines and the inner algorithm as native machines over the payload
-// relay plane — executes on the sharded engine.
-func paddedRun(pick func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver) func(Request) (*Outcome, error) {
-	return func(req Request) (*Outcome, error) {
-		lvl, err := core.NewLevel(2)
-		if err != nil {
-			return nil, err
-		}
-		det, rnd, err := lvl.EngineSolvers(req.Engine)
-		if err != nil {
-			return nil, err
-		}
-		s := pick(det, rnd)
-		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
-		if err != nil {
-			return nil, err
-		}
-		d, err := s.SolveDetailed(inst.G, inst.In, req.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := lvl.Verify(inst.G, inst.In, d.Out); err != nil {
-			return nil, fmt.Errorf("verify: %w", err)
-		}
-		return &Outcome{
-			Nodes:      inst.G.NumNodes(),
-			Edges:      inst.G.NumEdges(),
-			Rounds:     d.Cost.Rounds(),
-			Stats:      engine.Stats{Rounds: d.Engine.Rounds(), Deliveries: d.Engine.Deliveries()},
-			RelayWords: d.Engine.RelayWords,
-			Checksum:   LabelingChecksum(d.Out),
-			G:          inst.G,
-			In:         inst.In,
-			Out:        d.Out,
-			Cost:       d.Cost,
-			Padded:     d,
-			Instance:   inst,
-		}, nil
+// paddedEnginePrepare runs the engine-backed hierarchy solver: the whole
+// Lemma-4 pipeline — Ψ fixpoint machines and the inner algorithm as
+// native machines over the payload relay plane — executes on the sharded
+// engine.
+func paddedEnginePrepare(pick func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver) func(Request) (Prepared, error) {
+	return func(req Request) (Prepared, error) {
+		return paddedPrepare(req, func(lvl *core.Level, eng *engine.Engine) (paddedSolve, error) {
+			det, rnd, err := lvl.EngineSolvers(eng)
+			if err != nil {
+				return nil, err
+			}
+			return pick(det, rnd).SolveDetailed, nil
+		}, true)
 	}
 }
 
-// paddedMessageRun builds a balanced level-2 instance and runs the
-// engine-backed solver with the sinkless message solver as inner — the
-// inner with a native constant-bandwidth protocol over the relay plane.
-// forceGather pins the gather execution of the very same inner, the
-// bandwidth baseline the native entry is compared against; both must
-// fingerprint identically to the message-solver oracle.
-func paddedMessageRun(forceGather bool) func(Request) (*Outcome, error) {
-	return func(req Request) (*Outcome, error) {
-		lvl, err := core.NewLevel(2)
-		if err != nil {
-			return nil, err
-		}
-		s := core.NewEnginePaddedSolver(sinkless.NewMessageSolver(), core.LevelDelta(2), req.Engine)
-		s.ForceGather = forceGather
-		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
-		if err != nil {
-			return nil, err
-		}
-		d, err := s.SolveDetailed(inst.G, inst.In, req.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := lvl.Verify(inst.G, inst.In, d.Out); err != nil {
-			return nil, fmt.Errorf("verify: %w", err)
-		}
-		return &Outcome{
-			Nodes:      inst.G.NumNodes(),
-			Edges:      inst.G.NumEdges(),
-			Rounds:     d.Cost.Rounds(),
-			Stats:      engine.Stats{Rounds: d.Engine.Rounds(), Deliveries: d.Engine.Deliveries()},
-			RelayWords: d.Engine.RelayWords,
-			Checksum:   LabelingChecksum(d.Out),
-			G:          inst.G,
-			In:         inst.In,
-			Out:        d.Out,
-			Cost:       d.Cost,
-			Padded:     d,
-			Instance:   inst,
-		}, nil
+// paddedMessagePrepare runs the engine-backed solver with the sinkless
+// message solver as inner — the inner with a native constant-bandwidth
+// protocol over the relay plane. forceGather pins the gather execution
+// of the very same inner, the bandwidth baseline the native entry is
+// compared against; both must fingerprint identically to the
+// message-solver oracle.
+func paddedMessagePrepare(forceGather bool) func(Request) (Prepared, error) {
+	return func(req Request) (Prepared, error) {
+		return paddedPrepare(req, func(_ *core.Level, eng *engine.Engine) (paddedSolve, error) {
+			s := core.NewEnginePaddedSolver(sinkless.NewMessageSolver(), core.LevelDelta(2), eng)
+			s.ForceGather = forceGather
+			return s.SolveDetailed, nil
+		}, true)
 	}
 }
 
-// paddedMessageOracleRun is the sequential Lemma-4 oracle over the
+// paddedMessageOraclePrepare is the sequential Lemma-4 oracle over the
 // sinkless message solver: the reference both message-solver engine
 // entries (native and forced-gather) must fingerprint identically to.
-func paddedMessageOracleRun() func(Request) (*Outcome, error) {
-	return func(req Request) (*Outcome, error) {
-		lvl, err := core.NewLevel(2)
-		if err != nil {
-			return nil, err
-		}
-		s := core.NewPaddedSolver(sinkless.NewMessageSolver(), core.LevelDelta(2))
-		inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
-		if err != nil {
-			return nil, err
-		}
-		d, err := s.SolveDetailed(inst.G, inst.In, req.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := lvl.Verify(inst.G, inst.In, d.Out); err != nil {
-			return nil, fmt.Errorf("verify: %w", err)
-		}
-		return &Outcome{
-			Nodes:    inst.G.NumNodes(),
-			Edges:    inst.G.NumEdges(),
-			Rounds:   d.Cost.Rounds(),
-			Checksum: LabelingChecksum(d.Out),
-			G:        inst.G,
-			In:       inst.In,
-			Out:      d.Out,
-			Cost:     d.Cost,
-			Padded:   d,
-			Instance: inst,
-		}, nil
-	}
+func paddedMessageOraclePrepare(req Request) (Prepared, error) {
+	return paddedPrepare(req, func(_ *core.Level, _ *engine.Engine) (paddedSolve, error) {
+		return core.NewPaddedSolver(sinkless.NewMessageSolver(), core.LevelDelta(2)).SolveDetailed, nil
+	}, false)
 }
 
 // Registry returns the unified registry in canonical order.
@@ -357,14 +378,9 @@ func Registry() []Entry {
 			DefaultFamily: "cycle",
 			CycleOnly:     true,
 			EngineAware:   true,
-			Run: func(req Request) (*Outcome, error) {
+			Prepare: func(req Request) (Prepared, error) {
 				s := &coloring.CVSolver{MaxRounds: 1 << 20, Engine: req.Engine}
-				o, err := lclRun(req, s, coloring.Three{})
-				if err != nil {
-					return nil, err
-				}
-				o.Stats = s.LastStats
-				return o, nil
+				return lclPrepare(req, s, coloring.Three{}, func() engine.Stats { return s.LastStats })
 			},
 		},
 		{
@@ -372,8 +388,8 @@ func Registry() []Entry {
 			Description:   "maximal independent set on cycles via coloring (Θ(log* n))",
 			DefaultFamily: "cycle",
 			CycleOnly:     true,
-			Run: func(req Request) (*Outcome, error) {
-				return lclRun(req, coloring.NewMISSolver(), coloring.MIS{})
+			Prepare: func(req Request) (Prepared, error) {
+				return lclPrepare(req, coloring.NewMISSolver(), coloring.MIS{}, nil)
 			},
 		},
 		{
@@ -381,8 +397,8 @@ func Registry() []Entry {
 			Description:   "maximal matching on cycles via coloring (Θ(log* n))",
 			DefaultFamily: "cycle",
 			CycleOnly:     true,
-			Run: func(req Request) (*Outcome, error) {
-				return lclRun(req, coloring.NewMatchingSolver(), coloring.MaximalMatching{})
+			Prepare: func(req Request) (Prepared, error) {
+				return lclPrepare(req, coloring.NewMatchingSolver(), coloring.MaximalMatching{}, nil)
 			},
 		},
 		{
@@ -390,32 +406,32 @@ func Registry() []Entry {
 			Description:   "consistent cycle orientation (Θ(n), the global corner)",
 			DefaultFamily: "cycle",
 			CycleOnly:     true,
-			Run: func(req Request) (*Outcome, error) {
-				return lclRun(req, coloring.GlobalOrientationSolver{}, coloring.ConsistentOrientation{})
+			Prepare: func(req Request) (Prepared, error) {
+				return lclPrepare(req, coloring.GlobalOrientationSolver{}, coloring.ConsistentOrientation{}, nil)
 			},
 		},
 		{
 			Name:          "trivial",
 			Description:   "the trivial problem (0 rounds) on any family",
 			DefaultFamily: "regular",
-			Run: func(req Request) (*Outcome, error) {
-				return lclRun(req, coloring.TrivialSolver{}, coloring.Trivial{})
+			Prepare: func(req Request) (Prepared, error) {
+				return lclPrepare(req, coloring.TrivialSolver{}, coloring.Trivial{}, nil)
 			},
 		},
 		{
 			Name:          "sinkless-det",
 			Description:   "sinkless orientation, deterministic cycle-potential solver (Θ(log n))",
 			DefaultFamily: "regular",
-			Run: func(req Request) (*Outcome, error) {
-				return lclRun(req, sinkless.NewDetSolver(), sinkless.Problem{})
+			Prepare: func(req Request) (Prepared, error) {
+				return lclPrepare(req, sinkless.NewDetSolver(), sinkless.Problem{}, nil)
 			},
 		},
 		{
 			Name:          "sinkless-rand",
 			Description:   "sinkless orientation, randomized claims+repair solver (Θ(loglog n)-shaped)",
 			DefaultFamily: "regular",
-			Run: func(req Request) (*Outcome, error) {
-				return lclRun(req, sinkless.NewRandSolver(), sinkless.Problem{})
+			Prepare: func(req Request) (Prepared, error) {
+				return lclPrepare(req, sinkless.NewRandSolver(), sinkless.Problem{}, nil)
 			},
 		},
 		{
@@ -423,41 +439,39 @@ func Registry() []Entry {
 			Description:   "sinkless orientation via message passing on the sharded engine",
 			DefaultFamily: "regular",
 			EngineAware:   true,
-			Run: func(req Request) (*Outcome, error) {
+			Prepare: func(req Request) (Prepared, error) {
 				s := &sinkless.MessageSolver{MaxRounds: 4096, Engine: req.Engine}
-				o, err := lclRun(req, s, sinkless.Problem{})
-				if err != nil {
-					return nil, err
-				}
-				o.Stats = s.LastStats
-				return o, nil
+				return lclPrepare(req, s, sinkless.Problem{}, func() engine.Stats { return s.LastStats })
 			},
 		},
 		{
 			Name:          "netdecomp",
 			Description:   "deterministic (O(log n), O(log n)) network decomposition by ball carving",
 			DefaultFamily: "regular",
-			Run: func(req Request) (*Outcome, error) {
+			Prepare: func(req Request) (Prepared, error) {
 				g, err := graph.BuildFamily(req.Family, req.N, req.Seed)
 				if err != nil {
 					return nil, err
 				}
-				dec, cost, err := netdecomp.Build(g, netdecomp.Options{})
-				if err != nil {
-					return nil, err
+				run := func() (*Outcome, error) {
+					dec, cost, err := netdecomp.Build(g, netdecomp.Options{})
+					if err != nil {
+						return nil, err
+					}
+					if err := netdecomp.Verify(g, dec); err != nil {
+						return nil, fmt.Errorf("verify: %w", err)
+					}
+					return &Outcome{
+						Nodes:         g.NumNodes(),
+						Edges:         g.NumEdges(),
+						Rounds:        cost.Rounds(),
+						Checksum:      DecompositionChecksum(dec),
+						G:             g,
+						Cost:          cost,
+						Decomposition: dec,
+					}, nil
 				}
-				if err := netdecomp.Verify(g, dec); err != nil {
-					return nil, fmt.Errorf("verify: %w", err)
-				}
-				return &Outcome{
-					Nodes:         g.NumNodes(),
-					Edges:         g.NumEdges(),
-					Rounds:        cost.Rounds(),
-					Checksum:      DecompositionChecksum(dec),
-					G:             g,
-					Cost:          cost,
-					Decomposition: dec,
-				}, nil
+				return &prepared{run: run}, nil
 			},
 		},
 		{
@@ -466,7 +480,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			EngineAware:   true,
-			Run:           paddedRun(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return det }),
+			Prepare:       paddedEnginePrepare(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return det }),
 		},
 		{
 			Name:          "pi2-rand",
@@ -474,7 +488,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			EngineAware:   true,
-			Run:           paddedRun(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return rnd }),
+			Prepare:       paddedEnginePrepare(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return rnd }),
 		},
 		{
 			Name:          "pi2-rand-native",
@@ -482,7 +496,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			EngineAware:   true,
-			Run:           paddedMessageRun(false),
+			Prepare:       paddedMessagePrepare(false),
 		},
 		{
 			Name:          "pi2-rand-gather",
@@ -490,7 +504,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			EngineAware:   true,
-			Run:           paddedMessageRun(true),
+			Prepare:       paddedMessagePrepare(true),
 		},
 		{
 			Name:          "pi2-det-oracle",
@@ -498,7 +512,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			Oracle:        true,
-			Run:           paddedOracleRun(func(lvl *core.Level) lcl.Solver { return lvl.Det }),
+			Prepare:       paddedOraclePrepare(func(lvl *core.Level) lcl.Solver { return lvl.Det }),
 		},
 		{
 			Name:          "pi2-rand-oracle",
@@ -506,7 +520,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			Oracle:        true,
-			Run:           paddedOracleRun(func(lvl *core.Level) lcl.Solver { return lvl.Rand }),
+			Prepare:       paddedOraclePrepare(func(lvl *core.Level) lcl.Solver { return lvl.Rand }),
 		},
 		{
 			Name:          "pi2-rand-native-oracle",
@@ -514,7 +528,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			Oracle:        true,
-			Run:           paddedMessageOracleRun(),
+			Prepare:       paddedMessageOraclePrepare,
 		},
 	}
 }

@@ -49,7 +49,7 @@ func TestOracleEntriesMatchNativeChecksums(t *testing.T) {
 func TestRegistryShape(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range Registry() {
-		if e.Name == "" || e.Description == "" || e.Run == nil || e.DefaultFamily == "" {
+		if e.Name == "" || e.Description == "" || e.Prepare == nil || e.DefaultFamily == "" {
 			t.Errorf("entry %q incomplete", e.Name)
 		}
 		if seen[e.Name] {
@@ -139,6 +139,51 @@ func TestPaddedEntryReportsEngineStats(t *testing.T) {
 		}
 		if o.Checksum != first.Checksum || o.Stats != first.Stats || o.Rounds != first.Rounds {
 			t.Fatalf("%+v: outcome differs across engine geometries", opts)
+		}
+	}
+}
+
+// TestPreparedRunRepeatable: every registry entry's Prepared must be
+// reusable — repeated Run calls on one Prepared return the same outcome
+// as a fresh prepare-and-run. This is the contract the serving layer's
+// session pool stands on.
+func TestPreparedRunRepeatable(t *testing.T) {
+	for _, e := range Registry() {
+		req := Request{Family: e.DefaultFamily, N: 16, Seed: 5}
+		if e.DefaultFamily == PaddedFamily {
+			req.N = 12
+		}
+		if e.CycleOnly || e.DefaultFamily == "cycle" {
+			req.N = 33
+		}
+		if e.EngineAware {
+			req.Engine = engine.New(engine.Options{Workers: 2, Shards: 8})
+		}
+		p, err := e.Prepare(req)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", e.Name, err)
+		}
+		first, err := p.Run()
+		if err != nil {
+			p.Close()
+			t.Fatalf("%s: first run: %v", e.Name, err)
+		}
+		again, err := p.Run()
+		if err != nil {
+			p.Close()
+			t.Fatalf("%s: second run: %v", e.Name, err)
+		}
+		p.Close()
+		if again.Checksum != first.Checksum || again.Rounds != first.Rounds || again.Stats != first.Stats ||
+			again.RelayWords != first.RelayWords {
+			t.Fatalf("%s: repeated run differs: %+v vs %+v", e.Name, again, first)
+		}
+		fresh, err := e.Run(req)
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", e.Name, err)
+		}
+		if fresh.Checksum != first.Checksum {
+			t.Fatalf("%s: fresh checksum %016x differs from prepared %016x", e.Name, fresh.Checksum, first.Checksum)
 		}
 	}
 }

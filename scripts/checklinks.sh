@@ -1,13 +1,32 @@
 #!/usr/bin/env bash
 # checklinks.sh — verify that every relative markdown link in the given
-# files points at an existing file or directory. External (http/https/
-# mailto) links and pure #anchors are skipped; a trailing #anchor on a
-# relative link is stripped before the existence check. Exits non-zero
-# listing every broken link. Used by the CI docs job:
+# files points at an existing file or directory, and that every heading
+# anchor (#fragment, on the same file or a linked markdown file)
+# resolves to a real heading. External (http/https/mailto) links are
+# skipped. Exits non-zero listing every broken link or anchor. Used by
+# the CI docs job:
 #
-#   scripts/checklinks.sh README.md docs/*.md
+#   scripts/checklinks.sh *.md docs/*.md
 set -u
 fail=0
+
+# slugs_of FILE — one GitHub-style anchor slug per heading: lowercase,
+# punctuation stripped (keep alnum, space, underscore, dash), spaces to
+# dashes. Mirrors GitHub's anchor generation closely enough for ASCII
+# headings; duplicate-heading "-1" suffixes are not modeled.
+slugs_of() {
+  grep -E '^#{1,6} ' "$1" 2>/dev/null |
+    sed -E 's/^#{1,6} +//' |
+    tr '[:upper:]' '[:lower:]' |
+    sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+# has_anchor FILE ANCHOR — succeeds when FILE has a heading slugging to
+# ANCHOR.
+has_anchor() {
+  slugs_of "$1" | grep -qxF "$2"
+}
+
 for f in "$@"; do
   if [ ! -f "$f" ]; then
     echo "checklinks: no such file: $f" >&2
@@ -21,13 +40,32 @@ for f in "$@"; do
   while IFS= read -r t; do
     [ -z "$t" ] && continue
     case "$t" in
-      http://*|https://*|mailto:*|\#*) continue ;;
+      http://*|https://*|mailto:*) continue ;;
     esac
     path=${t%%#*}
-    [ -z "$path" ] && continue
-    if [ ! -e "$dir/$path" ]; then
+    anchor=""
+    case "$t" in
+      *'#'*) anchor=${t#*#} ;;
+    esac
+    if [ -n "$path" ] && [ ! -e "$dir/$path" ]; then
       echo "checklinks: $f: broken link -> $t" >&2
       fail=1
+      continue
+    fi
+    if [ -n "$anchor" ]; then
+      if [ -z "$path" ]; then
+        anchor_file=$f
+      else
+        anchor_file="$dir/$path"
+      fi
+      case "$anchor_file" in
+        *.md)
+          if ! has_anchor "$anchor_file" "$anchor"; then
+            echo "checklinks: $f: broken anchor -> $t (no heading #$anchor in $anchor_file)" >&2
+            fail=1
+          fi
+          ;;
+      esac
     fi
   done <<EOF
 $targets
@@ -36,4 +74,4 @@ done
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "checklinks: all relative links resolve"
+echo "checklinks: all relative links and anchors resolve"
