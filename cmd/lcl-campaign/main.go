@@ -1,0 +1,133 @@
+// Command lcl-campaign runs adversarial fault-injection campaigns: a
+// JSON spec (or a builtin) names gadget scenarios, fault IDs from the
+// adversary registry, and a seed axis; the harness runs every
+// (fault, seed) cell through the Ψ verifier machines — structural
+// faults as corrupted instances, delivery faults through the engine's
+// delivery interceptor — and reduces each cell to a machine-checked
+// verdict: detected, degraded-but-valid, or silent-corruption (hard
+// failure). The canonical report (locallab.campaign/v1, documented in
+// docs/REPORT_SCHEMA.md) is byte-identical across grid widths and
+// engine worker/shard geometries; the fault vocabulary and verdict
+// semantics live in docs/ADVERSARY.md.
+//
+// Usage:
+//
+//	lcl-campaign -builtin ci-campaign -json campaign.json
+//	lcl-campaign -spec campaign.json -workers 8
+//	lcl-campaign -builtin ci-campaign -engine-workers 4 -engine-shards 8
+//	lcl-campaign -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locallab/internal/adversary"
+	"locallab/internal/campaign"
+	"locallab/internal/measure"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lcl-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("lcl-campaign", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to a campaign spec (JSON); see -list for builtins instead")
+	builtin := fs.String("builtin", "", "run a builtin campaign by name (see -list)")
+	list := fs.Bool("list", false, "list builtin campaigns and the fault registry, then exit")
+	jsonOut := fs.String("json", "", "write the canonical JSON report to this file ('-' for stdout); schema documented in docs/REPORT_SCHEMA.md")
+	workers := fs.Int("workers", 0, "grid workers: campaign cells run this wide (0 = GOMAXPROCS); report bytes are identical either way")
+	engineWorkers := fs.Int("engine-workers", 0, "override engine workers inside every cell (0 = spec values; report bytes are identical either way)")
+	engineShards := fs.Int("engine-shards", 0, "override engine shards inside every cell (0 = spec values; report bytes are identical either way)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		printList(stdout)
+		return nil
+	}
+	spec, err := selectSpec(*specPath, *builtin)
+	if err != nil {
+		return err
+	}
+	rep, err := campaign.Run(spec, campaign.RunOptions{
+		GridWorkers:   *workers,
+		EngineWorkers: *engineWorkers,
+		EngineShards:  *engineShards,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut == "-" {
+		data, err := rep.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(data)
+		return err
+	}
+	printReport(stdout, rep)
+	if *jsonOut != "" {
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "report written to", *jsonOut)
+	}
+	return nil
+}
+
+func selectSpec(specPath, builtin string) (*campaign.Spec, error) {
+	switch {
+	case specPath != "" && builtin != "":
+		return nil, fmt.Errorf("-spec and -builtin are mutually exclusive")
+	case specPath != "":
+		return campaign.LoadFile(specPath)
+	case builtin != "":
+		spec, ok := campaign.Builtin(builtin)
+		if !ok {
+			return nil, fmt.Errorf("unknown builtin %q (use -list)", builtin)
+		}
+		return spec, nil
+	default:
+		return nil, fmt.Errorf("nothing to run: pass -spec or -builtin (use -list)")
+	}
+}
+
+func printList(w *os.File) {
+	fmt.Fprintln(w, "builtin campaigns:")
+	for _, name := range campaign.BuiltinNames() {
+		spec, _ := campaign.Builtin(name)
+		fmt.Fprintf(w, "  %-18s %d scenarios\n", name, len(spec.Scenarios))
+	}
+	fmt.Fprintln(w, "\nfault registry:")
+	for _, f := range adversary.Standard() {
+		class := "delivery"
+		if f.Detectable() {
+			class = "structural"
+		}
+		fmt.Fprintf(w, "  %-28s %-10s %s\n", f.ID, class, f.Description)
+	}
+}
+
+func printReport(w *os.File, rep *campaign.Report) {
+	for _, sr := range rep.Scenarios {
+		fmt.Fprintf(w, "## %s — Δ=%d h=%d (%d nodes)\n\n", sr.Name, sr.Delta, sr.Height, sr.Nodes)
+		headers := []string{"fault", "seed", "verdict", "latency", "flagged", "expected", "rounds"}
+		rows := make([][]string, len(sr.Cells))
+		for i, c := range sr.Cells {
+			rows[i] = []string{
+				c.Fault, fmt.Sprint(c.Seed), string(c.Verdict), fmt.Sprint(c.LatencyRounds),
+				fmt.Sprint(c.FlaggedNodes), fmt.Sprint(c.ExpectedNodes), fmt.Sprint(c.Rounds),
+			}
+		}
+		fmt.Fprintln(w, measure.Table(headers, rows))
+	}
+	t := rep.Totals
+	fmt.Fprintf(w, "totals: %d cells — %d detected, %d degraded-but-valid, %d silent-corruption (detectable: %d/%d)\n",
+		t.Cells, t.Detected, t.DegradedButValid, t.SilentCorruption, t.DetectedOfDetectable, t.Detectable)
+}

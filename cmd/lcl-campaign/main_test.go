@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCICampaignByteIdentical is the CLI-level acceptance check: the
+// ci-campaign JSON report is byte-identical across repeated runs, grid
+// widths, and engine worker/shard geometry overrides.
+func TestCICampaignByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		filepath.Join(dir, "a.json"),
+		filepath.Join(dir, "b.json"),
+		filepath.Join(dir, "c.json"),
+		filepath.Join(dir, "d.json"),
+	}
+	argSets := [][]string{
+		{"-builtin", "ci-campaign", "-json", paths[0], "-workers", "1"},
+		{"-builtin", "ci-campaign", "-json", paths[1]},
+		{"-builtin", "ci-campaign", "-json", paths[2], "-engine-workers", "1", "-engine-shards", "1"},
+		{"-builtin", "ci-campaign", "-json", paths[3], "-workers", "2", "-engine-workers", "4", "-engine-shards", "16"},
+	}
+	var first []byte
+	for i, args := range argSets {
+		if err := run(args, os.Stdout); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		data, err := os.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%v: empty report", args)
+		}
+		if i == 0 {
+			first = data
+			continue
+		}
+		if string(data) != string(first) {
+			t.Fatalf("%v: report differs from the first run", args)
+		}
+	}
+	if !strings.Contains(string(first), `"schema": "locallab.campaign/v1"`) {
+		t.Fatal("report missing schema marker")
+	}
+	if !strings.Contains(string(first), `"silent_corruption": 0`) {
+		t.Fatal("report shows silent corruption (or totals missing)")
+	}
+}
+
+// TestSpecFile: a custom spec file runs end to end with a fault subset.
+func TestSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	out := filepath.Join(dir, "out.json")
+	doc := `{
+	  "name": "custom",
+	  "scenarios": [
+	    {"name": "tiny", "delta": 3, "height": 3, "seeds": [7],
+	     "faults": ["rewire:self-loop", "byzantine:center", "crash:center"]}
+	  ]
+	}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", spec, "-json", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"fault": "rewire:self-loop"`,
+		`"verdict": "detected"`,
+		`"verdict": "degraded-but-valid"`,
+		`"cells": 3`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("report missing %s:\n%s", want, data)
+		}
+	}
+}
+
+// TestCLIErrors pins the CLI's refusal modes.
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "nothing to run"},
+		{[]string{"-builtin", "nope"}, `unknown builtin "nope"`},
+		{[]string{"-builtin", "ci-campaign", "-spec", "x.json"}, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, os.Stdout)
+		if err == nil {
+			t.Fatalf("%v: accepted", tc.args)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%v: error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package adversary is the fault-injection plane: a registry of named
+// fault models — crash, message drop/duplication/bit-corruption,
+// Byzantine rewrite, and structural rewiring lifted from
+// gadget.StandardCorruptions — compiled against a concrete instance into
+// deterministic delivery plans that execute through the typed engine's
+// delivery Interceptor hook (engine.Interceptor).
+//
+// The fault vocabulary follows the related work named in PAPERS.md
+// (heterogeneous/unreliable nodes; accountability under Byzantine
+// behavior) and docs/ADVERSARY.md documents it field by field.
+//
+// Determinism contract: every fault decision — does this slot's message
+// drop this round, which bit flips, what word does the Byzantine node
+// send, which node does a seeded fault pick — is a pure function of
+// (seed, fault id, round, slot), computed by stateless SplitMix64
+// hashing, never by consuming shared RNG state. Interceptor state is
+// per-slot only. Campaign reports are therefore byte-reproducible
+// across every worker/shard geometry, which the campaign tests and the
+// CI campaign-smoke job pin.
+package adversary
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"locallab/internal/gadget"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+// Kind classifies a fault model.
+type Kind string
+
+// The fault kinds. Rewire faults corrupt the instance before the run
+// (structural mutations of graph or input labeling); all other kinds
+// are delivery faults injected into the message plane while the run
+// executes.
+const (
+	// KindCrash silences every message a target node sends from a given
+	// round on (receivers observe the zero message, exactly like a port
+	// that has not spoken yet).
+	KindCrash Kind = "crash"
+	// KindDrop drops individual deliveries: each (round, slot) pair
+	// loses its message with probability Prob (optionally restricted to
+	// one Round).
+	KindDrop Kind = "drop"
+	// KindDuplicate replays deliveries: with probability Prob a slot's
+	// message is delivered again next round in place of the fresh one —
+	// the stale-duplicate failure of at-least-once transports.
+	KindDuplicate Kind = "duplicate"
+	// KindCorrupt flips one hash-chosen bit of the codec word with
+	// probability Prob per (round, slot).
+	KindCorrupt Kind = "corrupt"
+	// KindByzantine rewrites every message a target node sends from a
+	// given round on with arbitrary (hash-derived, deterministic) words.
+	KindByzantine Kind = "byzantine"
+	// KindRewire corrupts the instance itself via the named
+	// gadget.StandardCorruptions mutation; the run then executes
+	// fault-free on the corrupted instance.
+	KindRewire Kind = "rewire"
+)
+
+// Target selects the node a node-scoped fault (crash, byzantine)
+// attacks, resolved against the instance at Compile time.
+type Target string
+
+const (
+	// TargetCenter is the gadget's center node — the structural hub
+	// every sub-gadget hangs off.
+	TargetCenter Target = "center"
+	// TargetPort1 is the Port₁ node of the gadget.
+	TargetPort1 Target = "port1"
+	// TargetSeeded hash-picks a node from (seed, fault id), so sweeping
+	// seeds sweeps the attack site.
+	TargetSeeded Target = "seeded"
+)
+
+// Fault is one registry row: a named, parameterized fault model. The ID
+// is the determinism anchor — every random-looking decision the fault
+// makes is derived from (seed, ID).
+type Fault struct {
+	// ID names the fault in registries, campaign specs, and reports.
+	ID string
+	// Kind selects the model.
+	Kind Kind
+	// Description is a one-line summary for listings.
+	Description string
+	// Target picks the attacked node (crash, byzantine).
+	Target Target
+	// FromRound is the first faulty round (crash, byzantine); 0 means 1.
+	FromRound int
+	// Prob is the per-(round, slot) firing probability (drop, duplicate,
+	// corrupt).
+	Prob float64
+	// Round restricts probabilistic faults to one round (0 = all).
+	Round int
+	// Corruption names the gadget.StandardCorruptions mutation (rewire).
+	Corruption string
+}
+
+// Delivery reports whether the fault injects into the message plane
+// while the run executes (everything but rewire).
+func (f Fault) Delivery() bool { return f.Kind != KindRewire }
+
+// Detectable reports whether the fault is in the guaranteed-detection
+// class: rewire faults produce invalid instances, which Lemmas 7/8
+// promise some node's local check catches — the campaign hard-fails if
+// one slips through. Delivery faults on valid instances may legitimately
+// be absorbed (degraded-but-valid), so no detection promise attaches.
+func (f Fault) Detectable() bool { return f.Kind == KindRewire }
+
+// RewireNames are the gadget.StandardCorruptions mutation names, in
+// their canonical order. A drift test pins this list against the gadget
+// package.
+var RewireNames = []string{
+	"half-label-garbage",
+	"half-label-empty",
+	"node-label-garbage",
+	"port-index-mismatch",
+	"drop-port-label",
+	"center-turned-plain",
+	"swap-left-right",
+	"duplicate-color",
+	"parallel-edge",
+	"self-loop",
+	"cross-subgadget-edge",
+	"decapitate-root",
+}
+
+// Standard returns the full fault registry in canonical order: the
+// twelve structural rewirings first (the guaranteed-detectable class),
+// then the delivery fault models.
+func Standard() []Fault {
+	faults := make([]Fault, 0, len(RewireNames)+8)
+	for _, name := range RewireNames {
+		faults = append(faults, Fault{
+			ID:          "rewire:" + name,
+			Kind:        KindRewire,
+			Corruption:  name,
+			Description: "structural corruption " + name + " (gadget.StandardCorruptions)",
+		})
+	}
+	faults = append(faults,
+		Fault{ID: "crash:center", Kind: KindCrash, Target: TargetCenter, FromRound: 1,
+			Description: "center crashes before the first delivery: all its sends silenced"},
+		Fault{ID: "crash:seeded-late", Kind: KindCrash, Target: TargetSeeded, FromRound: 3,
+			Description: "seed-picked node crashes from round 3 on"},
+		Fault{ID: "drop:p20", Kind: KindDrop, Prob: 0.2,
+			Description: "every delivery dropped independently with probability 0.2"},
+		Fault{ID: "drop:round1", Kind: KindDrop, Prob: 1, Round: 1,
+			Description: "the entire first delivery phase is lost"},
+		Fault{ID: "duplicate:p20", Kind: KindDuplicate, Prob: 0.2,
+			Description: "deliveries replayed next round with probability 0.2 (stale duplicates)"},
+		Fault{ID: "corrupt:bitflip-p10", Kind: KindCorrupt, Prob: 0.1,
+			Description: "one codec-word bit flipped per delivery with probability 0.1"},
+		Fault{ID: "byzantine:center", Kind: KindByzantine, Target: TargetCenter, FromRound: 1,
+			Description: "center sends arbitrary deterministic words from round 1"},
+		Fault{ID: "byzantine:seeded", Kind: KindByzantine, Target: TargetSeeded, FromRound: 1,
+			Description: "seed-picked node sends arbitrary deterministic words from round 1"},
+	)
+	return faults
+}
+
+// ByID looks a fault up in the standard registry.
+func ByID(id string) (Fault, bool) {
+	for _, f := range Standard() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// IDs returns the standard registry's fault IDs in canonical order.
+func IDs() []string {
+	std := Standard()
+	out := make([]string, len(std))
+	for i, f := range std {
+		out[i] = f.ID
+	}
+	return out
+}
+
+// ApplyStructural realizes a rewire fault: it looks the named mutation
+// up in gadget.StandardCorruptions — with mutation sites picked by an
+// RNG derived from (seed, fault id), so the corrupted instance is a
+// deterministic function of the cell — and applies it to a copy of the
+// gadget. The original is never modified.
+func (f Fault) ApplyStructural(gd *gadget.Gadget, seed int64) (*graph.Graph, *lcl.Labeling, error) {
+	if f.Kind != KindRewire {
+		return nil, nil, fmt.Errorf("adversary: fault %q (%s) is not structural", f.ID, f.Kind)
+	}
+	rng := rand.New(rand.NewSource(int64(mixSeed(seed, f.ID))))
+	for _, c := range gadget.StandardCorruptions(gd, rng) {
+		if c.Name == f.Corruption {
+			return c.Apply(gd)
+		}
+	}
+	return nil, nil, fmt.Errorf("adversary: fault %q names unknown corruption %q", f.ID, f.Corruption)
+}
+
+// splitmix is the SplitMix64 finalizer — the same scrambling DeriveRNG
+// uses — applied as a stateless hash so fault decisions never consume
+// shared RNG state.
+func splitmix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// mixSeed folds (seed, fault id) into the 64-bit determinism anchor all
+// per-fault decisions derive from.
+func mixSeed(seed int64, id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return splitmix(uint64(seed) ^ h.Sum64())
+}
+
+// probThreshold maps a probability to the uint64 threshold a hash word
+// is compared against: word < threshold fires with probability p.
+func probThreshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.MaxUint64
+	}
+	f := p * 18446744073709551616.0 // p · 2^64, IEEE-exact for the same literal p
+	if f >= 18446744073709551615.0 {
+		return math.MaxUint64
+	}
+	return uint64(f)
+}

@@ -1,0 +1,122 @@
+package adversary
+
+import (
+	"fmt"
+
+	"locallab/internal/gadget"
+	"locallab/internal/graph"
+)
+
+// Hash-stream salts: each decision family reads a disjoint stream of the
+// (seed, fault id, round, slot) hash space, so "does the drop fire" and
+// "which bit flips" never correlate.
+const (
+	saltFire    = 0xf1e7a11c0ffee001
+	saltPayload = 0x8badf00ddeadbee1
+	saltNode    = 0x5eedf0cacc1de001
+)
+
+// Plan is a Fault compiled against one concrete instance: the attacked
+// node resolved, the slot→sender map precomputed, and the probability
+// threshold fixed. Plans are immutable and safe to share; per-run
+// mutable state lives in the Interceptor.
+type Plan struct {
+	// Fault is the compiled fault model.
+	Fault Fault
+	// Seed is the campaign seed the plan was compiled under.
+	Seed int64
+	// Node is the resolved target of node-scoped faults (-1 otherwise).
+	Node graph.NodeID
+
+	mix        uint64  // (seed, fault id) determinism anchor
+	threshold  uint64  // probability threshold for fires
+	slotSender []int32 // receiver slot -> sender node
+}
+
+// Compile resolves a delivery fault against a gadget instance: the
+// target node (center, port₁, or hash-picked), the slot→sender map the
+// interceptor consults, and the probability threshold. Rewire faults
+// have no delivery plan — use ApplyStructural.
+func (f Fault) Compile(gd *gadget.Gadget, seed int64) (*Plan, error) {
+	if !f.Delivery() {
+		return nil, fmt.Errorf("adversary: fault %q (%s) has no delivery plan; use ApplyStructural", f.ID, f.Kind)
+	}
+	p := &Plan{
+		Fault:      f,
+		Seed:       seed,
+		Node:       -1,
+		mix:        mixSeed(seed, f.ID),
+		threshold:  probThreshold(f.Prob),
+		slotSender: slotSenders(gd.G),
+	}
+	if f.Kind == KindCrash || f.Kind == KindByzantine {
+		switch f.Target {
+		case TargetCenter:
+			p.Node = gd.Center
+		case TargetPort1:
+			p.Node = gd.Ports[0]
+		case TargetSeeded:
+			p.Node = graph.NodeID(p.word(saltNode, 0, 0) % uint64(gd.NumNodes()))
+		default:
+			return nil, fmt.Errorf("adversary: fault %q: unknown target %q", f.ID, f.Target)
+		}
+	}
+	return p, nil
+}
+
+// Slots returns the size of the delivery-slot space the plan covers.
+func (p *Plan) Slots() int { return len(p.slotSender) }
+
+// slotSenders inverts the CSR route table: for every receiver port slot,
+// the node that writes the message it gathers.
+func slotSenders(g *graph.Graph) []int32 {
+	off := g.PortOffsets()
+	route := g.RouteTable()
+	owner := make([]int32, g.NumPorts())
+	for v := 0; v < g.NumNodes(); v++ {
+		for s := off[v]; s < off[v+1]; s++ {
+			owner[s] = int32(v)
+		}
+	}
+	senders := make([]int32, len(route))
+	for s, from := range route {
+		senders[s] = owner[from]
+	}
+	return senders
+}
+
+// word is the stateless decision hash: one uniform 64-bit word per
+// (salt, round, slot), identical under every worker/shard geometry.
+func (p *Plan) word(salt uint64, round int, slot int32) uint64 {
+	x := p.mix ^ salt
+	x += 0x9e3779b97f4a7c15 * (uint64(round) + 1)
+	x = splitmix(x)
+	x += 0x9e3779b97f4a7c15 * (uint64(uint32(slot)) + 1)
+	return splitmix(x)
+}
+
+// fires decides a probabilistic fault at (round, slot).
+func (p *Plan) fires(round int, slot int32) bool {
+	if p.Fault.Round > 0 && round != p.Fault.Round {
+		return false
+	}
+	if p.threshold == 0 {
+		return false
+	}
+	return p.word(saltFire, round, slot) < p.threshold
+}
+
+// payload is the deterministic arbitrary word of Byzantine rewrites and
+// the bit-picker of corruption faults.
+func (p *Plan) payload(round int, slot int32) uint64 {
+	return p.word(saltPayload, round, slot)
+}
+
+// active reports whether a node-scoped fault is live at round.
+func (p *Plan) active(round int) bool {
+	from := p.Fault.FromRound
+	if from <= 0 {
+		from = 1
+	}
+	return round >= from
+}

@@ -1,0 +1,61 @@
+package campaign
+
+// Builtin campaign specs, the campaign analogue of the scenario
+// builtins: ci-campaign is the CI gate (small, fast, full fault
+// registry), campaign-full the wider local sweep.
+
+// builtins is the registry, in listing order.
+var builtins = []Spec{
+	{
+		Name: "ci-campaign",
+		Scenarios: []Scenario{
+			{
+				Name:   "uniform-d3-h3",
+				Delta:  3,
+				Height: 3,
+				Seeds:  []int64{1, 2},
+				Engine: EngineParams{Workers: 2, Shards: 8},
+			},
+		},
+	},
+	{
+		Name: "campaign-full",
+		Scenarios: []Scenario{
+			{
+				Name:   "uniform-d3-h3",
+				Delta:  3,
+				Height: 3,
+				Seeds:  []int64{1, 2, 3},
+				Engine: EngineParams{Workers: 2, Shards: 8},
+			},
+			{
+				Name:   "uniform-d4-h4",
+				Delta:  4,
+				Height: 4,
+				Seeds:  []int64{1, 2},
+				Engine: EngineParams{Workers: 4, Shards: 16},
+			},
+		},
+	},
+}
+
+// Builtin returns the named builtin spec, copied so callers can tweak.
+func Builtin(name string) (*Spec, bool) {
+	for i := range builtins {
+		if builtins[i].Name == name {
+			spec := builtins[i]
+			spec.Scenarios = append([]Scenario(nil), builtins[i].Scenarios...)
+			return &spec, true
+		}
+	}
+	return nil, false
+}
+
+// BuiltinNames lists the builtin specs in registry order.
+func BuiltinNames() []string {
+	names := make([]string, len(builtins))
+	for i := range builtins {
+		names[i] = builtins[i].Name
+	}
+	return names
+}

@@ -1,0 +1,177 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"locallab/internal/adversary"
+)
+
+// TestCIBuiltinVerdicts is the in-process form of the CI campaign gate:
+// the full standard fault registry yields zero silent-corruption
+// verdicts, every detectable (structural) fault is detected, and every
+// delivery fault lands in a checkable class.
+func TestCIBuiltinVerdicts(t *testing.T) {
+	spec, ok := Builtin("ci-campaign")
+	if !ok {
+		t.Fatal("ci-campaign builtin missing")
+	}
+	rep, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(adversary.Standard()) * 2
+	if rep.Totals.Cells != wantCells {
+		t.Fatalf("totals cells %d, want %d", rep.Totals.Cells, wantCells)
+	}
+	if rep.Totals.SilentCorruption != 0 {
+		for _, sr := range rep.Scenarios {
+			for _, c := range sr.Cells {
+				if c.Verdict == VerdictSilent {
+					t.Errorf("silent corruption: %s seed %d (flagged %d, expected %d, latency %d)",
+						c.Fault, c.Seed, c.FlaggedNodes, c.ExpectedNodes, c.LatencyRounds)
+				}
+			}
+		}
+		t.Fatalf("%d silent-corruption verdicts", rep.Totals.SilentCorruption)
+	}
+	if rep.Totals.Detectable == 0 {
+		t.Fatal("no detectable faults in the standard registry")
+	}
+	if rep.Totals.DetectedOfDetectable != rep.Totals.Detectable {
+		t.Fatalf("detected %d of %d detectable faults",
+			rep.Totals.DetectedOfDetectable, rep.Totals.Detectable)
+	}
+	if rep.Totals.Detected+rep.Totals.DegradedButValid != rep.Totals.Cells {
+		t.Fatalf("verdicts don't partition the grid: %+v", rep.Totals)
+	}
+	// Structural faults are caught at initialization, before any
+	// message moves: latency 0 for every detected structural cell.
+	for _, sr := range rep.Scenarios {
+		for _, c := range sr.Cells {
+			if c.Class == classStructural && c.LatencyRounds != 0 {
+				t.Errorf("%s seed %d: structural fault latency %d, want 0", c.Fault, c.Seed, c.LatencyRounds)
+			}
+		}
+	}
+}
+
+// TestReportByteIdentity: the canonical report is byte-identical across
+// grid widths and engine worker/shard geometries — the property that
+// makes CAMPAIGN_*.json a diffable trajectory.
+func TestReportByteIdentity(t *testing.T) {
+	spec := &Spec{
+		Name: "identity",
+		Scenarios: []Scenario{{
+			Name:   "small",
+			Delta:  3,
+			Height: 3,
+			Seeds:  []int64{1},
+			Faults: []string{
+				"rewire:self-loop", "rewire:decapitate-root",
+				"crash:center", "drop:p20", "duplicate:p20",
+				"corrupt:bitflip-p10", "byzantine:center",
+			},
+		}},
+	}
+	var want []byte
+	for _, opts := range []RunOptions{
+		{GridWorkers: 1, EngineWorkers: 1, EngineShards: 1},
+		{GridWorkers: 2, EngineWorkers: 2, EngineShards: 4},
+		{GridWorkers: 4, EngineWorkers: 4, EngineShards: 8},
+		{GridWorkers: 3, EngineWorkers: 2, EngineShards: 2},
+	} {
+		rep, err := Run(spec, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		data, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = data
+			continue
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("report bytes diverged at %+v", opts)
+		}
+	}
+}
+
+// TestSpecValidation pins the exact error messages for the common
+// authoring mistakes.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"unknown-field", `{"name":"x","scenarios":[],"bogus":1}`, `unknown field "bogus"`},
+		{"missing-name", `{"scenarios":[{"name":"a","delta":3,"height":3,"seeds":[1]}]}`, "campaign: missing name"},
+		{"no-scenarios", `{"name":"x","scenarios":[]}`, "campaign: no scenarios"},
+		{"bad-delta", `{"name":"x","scenarios":[{"name":"a","delta":1,"height":3,"seeds":[1]}]}`,
+			`campaign scenario "a": delta 1 < 2`},
+		{"bad-height", `{"name":"x","scenarios":[{"name":"a","delta":3,"height":1,"seeds":[1]}]}`,
+			`campaign scenario "a": height 1 < 2`},
+		{"no-seeds", `{"name":"x","scenarios":[{"name":"a","delta":3,"height":3,"seeds":[]}]}`,
+			`campaign scenario "a": no seeds`},
+		{"dup-seed", `{"name":"x","scenarios":[{"name":"a","delta":3,"height":3,"seeds":[1,1]}]}`,
+			`campaign scenario "a": duplicate seed 1`},
+		{"unknown-fault", `{"name":"x","scenarios":[{"name":"a","delta":3,"height":3,"seeds":[1],"faults":["nope"]}]}`,
+			`campaign scenario "a": unknown fault "nope"`},
+		{"dup-fault", `{"name":"x","scenarios":[{"name":"a","delta":3,"height":3,"seeds":[1],"faults":["crash:center","crash:center"]}]}`,
+			`campaign scenario "a": duplicate fault "crash:center"`},
+		{"dup-scenario", `{"name":"x","scenarios":[{"name":"a","delta":3,"height":3,"seeds":[1]},{"name":"a","delta":3,"height":3,"seeds":[1]}]}`,
+			`campaign: duplicate scenario name "a"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuiltins: every builtin validates and resolves by name.
+func TestBuiltins(t *testing.T) {
+	names := BuiltinNames()
+	if len(names) == 0 {
+		t.Fatal("no builtin campaigns")
+	}
+	for _, name := range names {
+		spec, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("builtin %q not resolvable", name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("builtin %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := Builtin("nope"); ok {
+		t.Fatal("unknown builtin resolved")
+	}
+}
+
+// TestUnknownFaultMessageListsRegistry: the unknown-fault error teaches
+// the author the vocabulary.
+func TestUnknownFaultMessageListsRegistry(t *testing.T) {
+	spec := &Spec{Name: "x", Scenarios: []Scenario{{
+		Name: "a", Delta: 3, Height: 3, Seeds: []int64{1}, Faults: []string{"nope"},
+	}}}
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	for _, id := range adversary.IDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("error does not list known fault %q", id)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SchemaVersion identifies the campaign report JSON schema. Bump it on
+// any field-semantics change so trajectory tooling can dispatch.
+const SchemaVersion = "locallab.campaign/v1"
+
+// Verdict is the machine-checked classification of one campaign cell.
+type Verdict string
+
+const (
+	// VerdictDetected: the fault was caught by the checkable machinery —
+	// for structural faults, flagged at exactly the centrally-computed
+	// node set with a Ψ-valid error output; for delivery faults, the
+	// corrupted execution's output was rejected by the Ψ ne-LCL checker.
+	VerdictDetected Verdict = "detected"
+	// VerdictDegraded: a delivery fault was absorbed — the execution
+	// still converged to the unique valid all-GadOk output.
+	VerdictDegraded Verdict = "degraded-but-valid"
+	// VerdictSilent: hard failure — a real corruption with no correct,
+	// checkable detection. The CI campaign gate asserts this stays zero.
+	VerdictSilent Verdict = "silent-corruption"
+)
+
+// CellResult is one (fault, seed) cell. Every field is deterministic
+// for the cell — campaign reports are byte-identical across grid widths
+// and engine worker/shard geometries.
+type CellResult struct {
+	// Fault is the adversary fault ID; Kind its fault-model class and
+	// Class whether it corrupts the instance ("structural") or the
+	// execution ("delivery").
+	Fault string `json:"fault"`
+	Kind  string `json:"kind"`
+	Class string `json:"class"`
+	// Seed drives fault-site selection and per-round fault randomness.
+	Seed int64 `json:"seed"`
+	// Verdict is the machine-checked outcome.
+	Verdict Verdict `json:"verdict"`
+	// LatencyRounds is the detection latency: rounds until the first Ψ
+	// machine raised a violation predicate. 0 means caught at
+	// initialization by the constant-radius local checks; -1 means no
+	// machine ever flagged (absorbed faults).
+	LatencyRounds int `json:"latency_rounds"`
+	// FlaggedNodes counts nodes whose converged output is the Error
+	// label; ExpectedNodes counts nodes the centralized gadget checker
+	// says must fail. Detected structural cells have them equal.
+	FlaggedNodes  int `json:"flagged_nodes"`
+	ExpectedNodes int `json:"expected_nodes"`
+	// Rounds and Deliveries profile the (possibly adversarial) engine
+	// execution.
+	Rounds     int   `json:"rounds"`
+	Deliveries int64 `json:"deliveries"`
+	// Checksum is the FNV-1a 64 fingerprint of the converged output
+	// labeling, in %016x form.
+	Checksum string `json:"checksum"`
+}
+
+// ScenarioResult is one scenario's completed fault × seed grid, cells
+// in fault-major, seed-minor order.
+type ScenarioResult struct {
+	Name   string       `json:"name"`
+	Delta  int          `json:"delta"`
+	Height int          `json:"height"`
+	Nodes  int          `json:"nodes"`
+	Engine EngineParams `json:"engine,omitzero"`
+	Cells  []CellResult `json:"cells"`
+}
+
+// Totals aggregates verdicts across every cell. Integer counts only, so
+// the trajectory stays byte-comparable.
+type Totals struct {
+	Cells            int `json:"cells"`
+	Detected         int `json:"detected"`
+	DegradedButValid int `json:"degraded_but_valid"`
+	SilentCorruption int `json:"silent_corruption"`
+	// Detectable counts cells whose fault the registry guarantees
+	// detectable (structural corruptions); DetectedOfDetectable counts
+	// how many of those were actually detected. CI asserts equality.
+	Detectable           int `json:"detectable"`
+	DetectedOfDetectable int `json:"detected_of_detectable"`
+}
+
+// Report is the campaign result envelope; CAMPAIGN_*.json trajectories
+// store its canonical form.
+type Report struct {
+	Schema    string           `json:"schema"`
+	Tool      string           `json:"tool"`
+	Name      string           `json:"name"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Totals    Totals           `json:"totals"`
+}
+
+// CanonicalJSON renders the report in its canonical byte form:
+// two-space indented, fixed field order (struct order), trailing
+// newline. Reports built from the same spec are byte-identical
+// regardless of grid widths or engine geometry, so detection
+// trajectories can be diffed textually.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the canonical JSON to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := r.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// tally recomputes Totals from the report's cells.
+func (r *Report) tally() {
+	t := Totals{}
+	for i := range r.Scenarios {
+		for _, c := range r.Scenarios[i].Cells {
+			t.Cells++
+			switch c.Verdict {
+			case VerdictDetected:
+				t.Detected++
+			case VerdictDegraded:
+				t.DegradedButValid++
+			default:
+				t.SilentCorruption++
+			}
+			if c.Class == classStructural {
+				t.Detectable++
+				if c.Verdict == VerdictDetected {
+					t.DetectedOfDetectable++
+				}
+			}
+		}
+	}
+	r.Totals = t
+}

@@ -1,0 +1,176 @@
+// Package campaign is the hypothesis-style adversarial campaign
+// harness: a declarative spec sweeps gadget instances over the fault
+// registry (internal/adversary) × a seed axis, runs every cell through
+// the Ψ verifier machines on the typed engine — structurally corrupted
+// instances fault-free, delivery faults through the engine's delivery
+// interceptor — and reduces each cell to a machine-checked verdict:
+//
+//	detected           — the fault was caught: a corrupted instance was
+//	                     flagged by the local checks at exactly the
+//	                     centrally-computed node set and the Ψ output
+//	                     validates, or a corrupted execution produced an
+//	                     output the Ψ ne-LCL checker rejects.
+//	degraded-but-valid — a delivery fault was absorbed: the run still
+//	                     converged to the unique valid all-GadOk output.
+//	silent-corruption  — hard failure: the machinery produced no
+//	                     correct, checkable detection of a real
+//	                     corruption. On gadget instances this class is
+//	                     provably empty (Lemmas 7/8: invalid instances
+//	                     are locally caught; on valid instances
+//	                     all-GadOk is the only Ψ-valid output), and the
+//	                     CI campaign gate asserts it stays empty.
+//
+// Reports (schema locallab.campaign/v1, see docs/REPORT_SCHEMA.md) are
+// canonical JSON: byte-identical across grid widths and every engine
+// worker/shard geometry, so the detection trajectory is tracked the way
+// BENCH_0.json tracks rounds. docs/ADVERSARY.md documents the fault
+// vocabulary, the determinism contract, and the verdict semantics.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"locallab/internal/adversary"
+)
+
+// EngineParams are the engine knobs a campaign scenario may pin. They
+// only affect scheduling, never report bytes: campaign outputs are
+// deterministic across every workers/shards setting.
+type EngineParams struct {
+	// Workers is the engine worker-pool size (0 = default).
+	Workers int `json:"workers,omitempty"`
+	// Shards is the engine shard count (0 = default).
+	Shards int `json:"shards,omitempty"`
+}
+
+// Scenario is one campaign axis: a uniform gadget instance
+// (delta, height) swept over faults × seeds.
+type Scenario struct {
+	Name string `json:"name"`
+	// Delta and Height shape the uniform gadget (gadget.BuildUniform).
+	Delta  int `json:"delta"`
+	Height int `json:"height"`
+	// Seeds drive fault-site selection and fault randomness; each
+	// (fault, seed) pair is one cell.
+	Seeds []int64 `json:"seeds"`
+	// Faults lists adversary fault IDs; empty means the full standard
+	// registry in canonical order.
+	Faults []string `json:"faults,omitempty"`
+	// Engine pins the engine geometry for the scenario's runs.
+	Engine EngineParams `json:"engine,omitzero"`
+}
+
+// Spec is a named collection of campaign scenarios.
+type Spec struct {
+	Name      string     `json:"name"`
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Load parses and validates a campaign spec. Unknown fields are
+// rejected so typos fail loudly.
+func Load(r io.Reader) (*Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	spec := &Spec{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// LoadFile is Load on a file path.
+func LoadFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Validate checks the spec against the fault registry. Error messages
+// are contract: tests assert them exactly.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("campaign: missing name")
+	}
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("campaign: no scenarios")
+	}
+	seen := map[string]bool{}
+	for i := range s.Scenarios {
+		sc := &s.Scenarios[i]
+		if sc.Name == "" {
+			return fmt.Errorf("campaign: scenario %d missing name", i)
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("campaign: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if err := sc.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) validate() error {
+	subject := fmt.Sprintf("campaign scenario %q", sc.Name)
+	if sc.Delta < 2 {
+		return fmt.Errorf("%s: delta %d < 2", subject, sc.Delta)
+	}
+	if sc.Height < 2 {
+		return fmt.Errorf("%s: height %d < 2", subject, sc.Height)
+	}
+	if len(sc.Seeds) == 0 {
+		return fmt.Errorf("%s: no seeds", subject)
+	}
+	seedSeen := map[int64]bool{}
+	for _, seed := range sc.Seeds {
+		if seedSeen[seed] {
+			return fmt.Errorf("%s: duplicate seed %d", subject, seed)
+		}
+		seedSeen[seed] = true
+	}
+	faultSeen := map[string]bool{}
+	for _, id := range sc.Faults {
+		if _, ok := adversary.ByID(id); !ok {
+			return fmt.Errorf("%s: unknown fault %q (known: %s)",
+				subject, id, strings.Join(adversary.IDs(), ", "))
+		}
+		if faultSeen[id] {
+			return fmt.Errorf("%s: duplicate fault %q", subject, id)
+		}
+		faultSeen[id] = true
+	}
+	if sc.Engine.Workers < 0 || sc.Engine.Shards < 0 {
+		return fmt.Errorf("%s: negative engine parameters", subject)
+	}
+	return nil
+}
+
+// faults resolves the scenario's fault list: named IDs in spec order,
+// or the full standard registry.
+func (sc *Scenario) faults() []adversary.Fault {
+	if len(sc.Faults) == 0 {
+		return adversary.Standard()
+	}
+	out := make([]adversary.Fault, 0, len(sc.Faults))
+	for _, id := range sc.Faults {
+		f, _ := adversary.ByID(id)
+		out = append(out, f)
+	}
+	return out
+}

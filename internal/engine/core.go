@@ -38,6 +38,38 @@ type TypedMachine[M any] interface {
 	Round(recv []M, send []M) (done bool)
 }
 
+// Interceptor is the typed plane's delivery-fault hook: when installed
+// on a Session it sees every message in flight during the delivery
+// phase and may replace it — the mechanism the adversarial
+// fault-injection plane (internal/adversary) uses to realize crash,
+// drop, duplication, corruption, and Byzantine faults without touching
+// machine code.
+//
+// Contract:
+//
+//   - BeginRound(round) is called once by the coordinator, before the
+//     delivery phase of the given round (Session.Rounds() numbering),
+//     strictly between phase barriers — never concurrently with Deliver.
+//   - Deliver(slot, m) is called for every receiver port slot of every
+//     delivery phase, where m is the message the sender wrote for that
+//     slot; the returned value is what the receiver observes. Slots are
+//     partitioned across shards, so Deliver may run concurrently for
+//     different slots but never twice for the same slot in one phase.
+//     For deterministic executions the result must depend only on
+//     (round, slot, m) and per-slot state — never on worker, shard, or
+//     call order — which keeps outputs byte-identical across every
+//     Workers/Shards geometry, interceptor installed or not.
+//   - A nil interceptor is the fast path: the delivery gather loop is
+//     the same straight pass as before the hook existed, and the
+//     steady-state round loop stays at 0 allocs/op (pinned by the
+//     AllocsPerRun tests).
+type Interceptor[M any] interface {
+	// BeginRound announces the round whose delivery phase follows.
+	BeginRound(round int)
+	// Deliver maps the message in flight on receiver slot p.
+	Deliver(p int32, m M) M
+}
+
 // Core is the generics-based execution core: the engine's sharded
 // worker-pool round loop over a typed, unboxed message plane. A Core
 // holds only options; per-execution state lives in Sessions, so one Core
@@ -121,6 +153,11 @@ type Session[M any] struct {
 	randomized bool
 	phase      int
 	rounds     int
+
+	// itc, when non-nil, observes and may rewrite every delivered
+	// message (see Interceptor). The nil check happens once per shard,
+	// outside the gather loop, so the nil case costs nothing.
+	itc Interceptor[M]
 
 	jobs    chan int
 	wg      sync.WaitGroup
@@ -271,6 +308,21 @@ func (s *Session[M]) deliverShard(i int) {
 	lo := s.off[s.shardLo[i]]
 	hi := s.off[s.shardLo[i+1]]
 	recv, send, route := s.recv, s.send, s.route
+	if itc := s.itc; itc != nil {
+		// Fault-injection path: every in-flight message passes through
+		// the interceptor. Deliveries are counted after interception —
+		// what the receiver observes is what crossed the edge.
+		delivered := int64(0)
+		for p := lo; p < hi; p++ {
+			m := itc.Deliver(p, send[route[p]])
+			recv[p] = m
+			if s.core.silent == nil || !s.core.silent(m) {
+				delivered++
+			}
+		}
+		s.shardDelivered[i].v += delivered
+		return
+	}
 	if s.core.silent == nil {
 		for p := lo; p < hi; p++ {
 			recv[p] = send[route[p]]
@@ -288,6 +340,14 @@ func (s *Session[M]) deliverShard(i int) {
 	}
 	s.shardDelivered[i].v += delivered
 }
+
+// SetInterceptor installs (or, with nil, removes) the delivery
+// interceptor. It must not be called while a Step or Run is executing;
+// the usual pattern is SetInterceptor then Reset. Installing an
+// interceptor never changes which slots are delivered, only their
+// contents — and a nil interceptor restores the original zero-overhead
+// gather loop.
+func (s *Session[M]) SetInterceptor(itc Interceptor[M]) { s.itc = itc }
 
 // Reset re-initializes every machine under the given seed and clears the
 // message plane and counters, leaving the Session at round zero. It is
@@ -317,6 +377,9 @@ func (s *Session[M]) Step() (done bool) {
 	s.dispatch(phaseCompute)
 	for i := range s.shardDone {
 		if !s.shardDone[i].v {
+			if s.itc != nil {
+				s.itc.BeginRound(s.rounds)
+			}
 			s.dispatch(phaseDeliver)
 			return false
 		}

@@ -1,0 +1,90 @@
+package errorproof
+
+import (
+	"math/rand"
+	"testing"
+
+	"locallab/internal/engine"
+	"locallab/internal/gadget"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+// expectedBadSet is the ground truth the distributed detection must
+// reproduce: the nodes the centralized constant-radius gadget checker
+// condemns on the corrupted instance.
+func expectedBadSet(g *graph.Graph, in *lcl.Labeling, delta int) map[graph.NodeID]bool {
+	checker := &gadget.Checker{Delta: delta}
+	bad := map[graph.NodeID]bool{}
+	for v := 0; v < g.NumNodes(); v++ {
+		if checker.CheckNode(g, in, graph.NodeID(v)) != nil {
+			bad[graph.NodeID(v)] = true
+		}
+	}
+	return bad
+}
+
+// assertErrorSetExact: the converged Ψ output must carry the Error
+// label at exactly the expected bad set — not a superset, not a
+// neighbor — with every other node on a pointer-chain error label, and
+// the whole labeling Ψ-valid.
+func assertErrorSetExact(t *testing.T, kind string, g *graph.Graph, in, out *lcl.Labeling, delta int, want map[graph.NodeID]bool) {
+	t.Helper()
+	for v := range out.Node {
+		id := graph.NodeID(v)
+		flagged := out.Node[v] == LabError
+		if flagged && !want[id] {
+			t.Errorf("%s: node %d Error-labeled but its local check passes", kind, v)
+		}
+		if !flagged && want[id] {
+			t.Errorf("%s: node %d fails its local check but is labeled %q", kind, v, out.Node[v])
+		}
+		if !IsErrorLabel(out.Node[v]) {
+			t.Errorf("%s: node %d output %q on an invalid gadget, want an error label", kind, v, out.Node[v])
+		}
+	}
+	if err := lcl.Verify(g, &Psi{Delta: delta}, in, out); err != nil {
+		t.Errorf("%s: Ψ rejected the detection output: %v", kind, err)
+	}
+}
+
+// TestDetectionCompleteness is the detection-completeness gate: every
+// standard structural corruption is caught by at least one node's local
+// check, and both the centralized verifier and the engine execution
+// converge to the Error label at exactly the expected node set.
+func TestDetectionCompleteness(t *testing.T) {
+	gd, err := gadget.BuildUniform(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	corruptions := gadget.StandardCorruptions(gd, rng)
+	if len(corruptions) == 0 {
+		t.Fatal("no standard corruptions")
+	}
+	for _, c := range corruptions {
+		t.Run(c.Name, func(t *testing.T) {
+			g, in, err := c.Apply(gd)
+			if err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			want := expectedBadSet(g, in, gd.Delta)
+			if len(want) == 0 {
+				t.Fatalf("corruption %q not caught by any node's local check", c.Name)
+			}
+			vf := &Verifier{Delta: gd.Delta}
+			out, _, err := vf.Run(g, in, g.NumNodes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertErrorSetExact(t, "centralized", g, in, out, gd.Delta, want)
+
+			eng := engine.New(engine.Options{Workers: 2, Shards: 8})
+			engOut, _, _, err := vf.RunEngine(eng, g, in, g.NumNodes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertErrorSetExact(t, "engine", g, in, engOut, gd.Delta, want)
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package errorproof
+
+import (
+	"testing"
+
+	"locallab/internal/adversary"
+	"locallab/internal/engine"
+	"locallab/internal/gadget"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+// TestPsiCodecRoundTrip: every 7-bit word round-trips, and arbitrary
+// words decode by masking — the property Byzantine rewrites rely on.
+func TestPsiCodecRoundTrip(t *testing.T) {
+	for w := uint64(0); w < 128; w++ {
+		if got := encodePsiMsg(decodePsiMsg(w)); got != w {
+			t.Fatalf("word %#x round-trips to %#x", w, got)
+		}
+	}
+	if got := decodePsiMsg(0xffffffffffffff80); got != (psiMsg{}) {
+		t.Fatalf("high bits leaked into the message: %+v", got)
+	}
+}
+
+// TestFaultRunCleanMatchesRunEngine: with no plan, the fault runner is
+// RunEngine — all-GadOk output on a valid gadget, never a flag.
+func TestFaultRunCleanMatchesRunEngine(t *testing.T) {
+	gd, err := gadget.BuildUniform(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf := &Verifier{Delta: gd.Delta}
+	fr, err := vf.RunEngineUnderFaults(gd.G, gd.In, gd.NumNodes(), engine.Options{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.FirstFlag != -1 {
+		t.Fatalf("clean run flagged at round %d", fr.FirstFlag)
+	}
+	want, _, _, err := vf.RunEngine(engine.New(engine.Options{Workers: 1}), gd.G, gd.In, gd.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Node {
+		if fr.Out.Node[v] != want.Node[v] {
+			t.Fatalf("node %d: fault runner %q, RunEngine %q", v, fr.Out.Node[v], want.Node[v])
+		}
+		if fr.Out.Node[v] != LabGadOk {
+			t.Fatalf("node %d: clean valid gadget output %q, want GadOk", v, fr.Out.Node[v])
+		}
+	}
+}
+
+// TestFaultRunStructuralFlagsAtInit: a rewired instance is caught by
+// the local checks before any message moves (FirstFlag 0), and the
+// converged output matches the centralized verifier exactly.
+func TestFaultRunStructuralFlagsAtInit(t *testing.T) {
+	gd, err := gadget.BuildUniform(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf := &Verifier{Delta: gd.Delta}
+	f, ok := adversary.ByID("rewire:cross-subgadget-edge")
+	if !ok {
+		t.Fatal("rewire fault missing from registry")
+	}
+	g, in, err := f.ApplyStructural(gd, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := vf.RunEngineUnderFaults(g, in, g.NumNodes(), engine.Options{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.FirstFlag != 0 {
+		t.Fatalf("structural fault flagged at round %d, want 0", fr.FirstFlag)
+	}
+	want, _, err := vf.Run(g, in, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Node {
+		if fr.Out.Node[v] != want.Node[v] {
+			t.Fatalf("node %d: fault runner %q, centralized %q", v, fr.Out.Node[v], want.Node[v])
+		}
+	}
+}
+
+// TestFaultRunCrashAbsorbed: on a valid gadget every Ψ message is the
+// zero vector, so silencing a node changes nothing — the canonical
+// degraded-but-valid outcome.
+func TestFaultRunCrashAbsorbed(t *testing.T) {
+	gd, err := gadget.BuildUniform(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf := &Verifier{Delta: gd.Delta}
+	f, _ := adversary.ByID("crash:center")
+	plan, err := f.Compile(gd, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := vf.RunEngineUnderFaults(gd.G, gd.In, gd.NumNodes(), engine.Options{Workers: 2}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.FirstFlag != -1 {
+		t.Fatalf("crash on valid gadget flagged at round %d", fr.FirstFlag)
+	}
+	if !AllGadOk(fr.Out, allNodes(gd.G)) {
+		t.Fatal("crash on valid gadget corrupted the output")
+	}
+}
+
+// TestFaultRunByzantineCaughtByChecker: a Byzantine center poisons the
+// flood, the output stops being all-GadOk, and the Ψ ne-LCL checker
+// rejects it — distributed accountability for a corrupted execution.
+func TestFaultRunByzantineCaughtByChecker(t *testing.T) {
+	gd, err := gadget.BuildUniform(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf := &Verifier{Delta: gd.Delta}
+	f, _ := adversary.ByID("byzantine:center")
+	plan, err := f.Compile(gd, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := vf.RunEngineUnderFaults(gd.G, gd.In, gd.NumNodes(), engine.Options{Workers: 2}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AllGadOk(fr.Out, allNodes(gd.G)) {
+		t.Fatal("byzantine center left the output all-GadOk")
+	}
+	if fr.FirstFlag < 1 {
+		t.Fatalf("byzantine flood flagged at %d, want a positive round", fr.FirstFlag)
+	}
+	if err := lcl.Verify(gd.G, &Psi{Delta: gd.Delta}, gd.In, fr.Out); err == nil {
+		t.Fatal("Ψ checker accepted the Byzantine-corrupted output")
+	}
+}
+
+// TestFaultRunGeometryInvariance: the whole FaultRun — output labels,
+// rounds, deliveries, detection latency — is byte-identical across
+// {1,2,4} workers × {1,2} shard multipliers for the same (fault, seed).
+func TestFaultRunGeometryInvariance(t *testing.T) {
+	gd, err := gadget.BuildUniform(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf := &Verifier{Delta: gd.Delta}
+	for _, id := range []string{"byzantine:center", "corrupt:bitflip-p10", "drop:p20", "duplicate:p20"} {
+		f, ok := adversary.ByID(id)
+		if !ok {
+			t.Fatalf("fault %q missing", id)
+		}
+		var want *FaultRun
+		for _, workers := range []int{1, 2, 4} {
+			for _, shardMul := range []int{1, 2} {
+				plan, err := f.Compile(gd, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := engine.Options{Workers: workers, Shards: workers * shardMul * 2}
+				fr, err := vf.RunEngineUnderFaults(gd.G, gd.In, gd.NumNodes(), opts, plan)
+				if err != nil {
+					t.Fatalf("%s %+v: %v", id, opts, err)
+				}
+				if want == nil {
+					want = fr
+					continue
+				}
+				if fr.Rounds != want.Rounds || fr.Deliveries != want.Deliveries || fr.FirstFlag != want.FirstFlag {
+					t.Fatalf("%s %+v: profile (%d, %d, %d), want (%d, %d, %d)", id, opts,
+						fr.Rounds, fr.Deliveries, fr.FirstFlag, want.Rounds, want.Deliveries, want.FirstFlag)
+				}
+				for v := range want.Out.Node {
+					if fr.Out.Node[v] != want.Out.Node[v] {
+						t.Fatalf("%s %+v: node %d output diverged", id, opts, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func allNodes(g *graph.Graph) []graph.NodeID {
+	nodes := make([]graph.NodeID, g.NumNodes())
+	for v := range nodes {
+		nodes[v] = graph.NodeID(v)
+	}
+	return nodes
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"locallab/internal/scenario"
+	"locallab/internal/solver"
+)
+
+// registerPanickingSolver installs a registry entry whose Prepare
+// succeeds but whose Run panics — the worst-behaved workload a serving
+// daemon can be handed.
+func registerPanickingSolver(t *testing.T) string {
+	t.Helper()
+	const name = "test-panicker"
+	remove, err := solver.Register(solver.Entry{
+		Name:          name,
+		Description:   "test-only solver whose Run panics",
+		DefaultFamily: "cycle",
+		CycleOnly:     true,
+		Prepare: func(req solver.Request) (solver.Prepared, error) {
+			return panickingPrepared{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(remove)
+	return name
+}
+
+type panickingPrepared struct{}
+
+func (panickingPrepared) Run() (*solver.Outcome, error) { panic("deliberate test panic") }
+func (panickingPrepared) Close()                        {}
+
+// TestRunJobPanicRecovered: a panicking registry entry yields a
+// 500-class job error, counts as errored, does not kill the worker
+// (the server keeps serving), and the poisoned runner never returns to
+// the pool.
+func TestRunJobPanicRecovered(t *testing.T) {
+	name := registerPanickingSolver(t)
+	s := New(Options{QueueDepth: 4, Workers: 1})
+	defer s.Close()
+
+	req := scenario.CellRequest{Family: "cycle", Solver: name, N: 64, Seed: 1}
+	_, err := s.Do(context.Background(), req)
+	if err == nil {
+		t.Fatal("panicking job returned no error")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "deliberate test panic") {
+		t.Fatalf("panic not surfaced in the job error: %v", err)
+	}
+	st := s.Stats()
+	if st.Errored != 1 {
+		t.Fatalf("errored %d, want 1", st.Errored)
+	}
+	if st.PoolIdle != 0 {
+		t.Fatalf("poisoned runner returned to the pool (idle %d)", st.PoolIdle)
+	}
+
+	// The single worker survived: a healthy cell still completes.
+	cell, err := s.Do(context.Background(), cvCell(1, 1))
+	if err != nil || cell == nil {
+		t.Fatalf("worker died after the panic: %v", err)
+	}
+	if st := s.Stats(); st.Completed != 1 {
+		t.Fatalf("completed %d after recovery, want 1", st.Completed)
+	}
+}
+
+// TestAbandonedJobsSkipped: jobs whose submitter gave up while queued
+// are skipped at pickup — no runner is burned — and counted in the
+// abandoned stat.
+func TestAbandonedJobsSkipped(t *testing.T) {
+	s := newServer(Options{QueueDepth: 8, Workers: 1}, false)
+
+	// Enqueue four jobs with nobody draining; each Do abandons its job
+	// immediately because its context is already cancelled.
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := s.Do(ctx, cvCell(1, 1)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned Do returned %v, want context.Canceled", err)
+		}
+	}
+
+	// Now start the worker: it must skip all four without running any.
+	s.wg.Add(1)
+	go s.worker()
+	s.Close()
+
+	st := s.Stats()
+	if st.Abandoned != 4 {
+		t.Fatalf("abandoned %d, want 4", st.Abandoned)
+	}
+	if st.Completed != 0 || st.Errored != 0 {
+		t.Fatalf("abandoned jobs were executed: %+v", st)
+	}
+	if st.PoolMisses != 0 {
+		t.Fatalf("abandoned jobs burned %d runners", st.PoolMisses)
+	}
+}
+
+// TestAbandonedMixedWithLive: live jobs interleaved with abandoned ones
+// still complete; only the abandoned ones are skipped.
+func TestAbandonedMixedWithLive(t *testing.T) {
+	s := newServer(Options{QueueDepth: 8, Workers: 1}, false)
+
+	// Two abandoned...
+	for i := 0; i < 2; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := s.Do(ctx, cvCell(1, 1)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned Do returned %v", err)
+		}
+	}
+	// ...then one live request, waited on from a goroutine.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cell, err := s.Do(context.Background(), cvCell(1, 1))
+		if err != nil || cell == nil {
+			t.Errorf("live job failed: %v", err)
+		}
+	}()
+	// Wait until the live job is queued behind the abandoned ones.
+	for len(s.queue) < 3 {
+		runtime.Gosched()
+	}
+	s.wg.Add(1)
+	go s.worker()
+	wg.Wait()
+	s.Close()
+
+	st := s.Stats()
+	if st.Abandoned != 2 || st.Completed != 1 {
+		t.Fatalf("abandoned %d completed %d, want 2 and 1", st.Abandoned, st.Completed)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locallab/internal/scenario"
@@ -74,6 +75,10 @@ type jobResult struct {
 type job struct {
 	req  scenario.CellRequest
 	done chan jobResult // buffered 1: workers never block on delivery
+	// abandoned flips when the submitting Do gave up on the result
+	// (context cancelled while queued); workers skip abandoned jobs
+	// instead of burning a runner on a result nobody reads.
+	abandoned atomic.Bool
 }
 
 // Server runs scenario cells from a bounded queue on a fixed worker
@@ -142,6 +147,11 @@ func (s *Server) Do(ctx context.Context, req scenario.CellRequest) (*scenario.Ce
 	case r := <-j.done:
 		return r.cell, r.err
 	case <-ctx.Done():
+		// Mark the queued job so a worker picking it up later skips it
+		// rather than running a cell nobody is waiting for. A job already
+		// being executed runs to completion (the mark is checked only at
+		// pickup).
+		j.abandoned.Store(true)
 		return nil, ctx.Err()
 	}
 }
@@ -187,12 +197,33 @@ func (s *Server) Close() {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		if j.abandoned.Load() {
+			s.stats.abandoned.Add(1)
+			j.done <- jobResult{err: context.Canceled}
+			continue
+		}
 		j.done <- s.runJob(j.req)
 	}
 }
 
-func (s *Server) runJob(req scenario.CellRequest) jobResult {
+func (s *Server) runJob(req scenario.CellRequest) (res jobResult) {
 	start := time.Now()
+	var r *scenario.CellRunner
+	// A panicking registry entry must not kill the worker (the pool
+	// would silently shrink until admission stalls): convert the panic
+	// to a 500-class job error and drop the poisoned runner instead of
+	// returning it to the pool.
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if r != nil {
+			closeQuietly(r)
+		}
+		s.stats.errored.Add(1)
+		res = jobResult{err: fmt.Errorf("serve: job %s/%s panicked: %v", req.Family, req.Solver, p)}
+	}()
 	r, err := s.pool.acquire(req)
 	if err != nil {
 		s.stats.errored.Add(1)
@@ -210,6 +241,13 @@ func (s *Server) runJob(req scenario.CellRequest) jobResult {
 	s.stats.completed.Add(1)
 	s.stats.observe(req.Solver, time.Since(start))
 	return jobResult{cell: cell}
+}
+
+// closeQuietly closes a poisoned runner, swallowing any follow-on panic
+// from the already-broken cell state.
+func closeQuietly(r *scenario.CellRunner) {
+	defer func() { _ = recover() }()
+	r.Close()
 }
 
 // resolveBuiltinMix maps a builtin spec name to the flat list of its

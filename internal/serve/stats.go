@@ -18,6 +18,7 @@ type stats struct {
 	invalid   atomic.Int64
 	completed atomic.Int64
 	errored   atomic.Int64
+	abandoned atomic.Int64
 
 	mu        sync.Mutex
 	histogram map[string]*latencyHist
@@ -101,6 +102,7 @@ type Stats struct {
 	Invalid       int64                  `json:"invalid"`
 	Completed     int64                  `json:"completed"`
 	Errored       int64                  `json:"errored"`
+	Abandoned     int64                  `json:"abandoned"`
 	QueueDepth    int                    `json:"queue_depth"`
 	QueueCapacity int                    `json:"queue_capacity"`
 	PoolHits      int64                  `json:"pool_hits"`
@@ -117,6 +119,7 @@ func (s *stats) snapshot(queueDepth, queueCap int, p *pool) Stats {
 		Invalid:       s.invalid.Load(),
 		Completed:     s.completed.Load(),
 		Errored:       s.errored.Load(),
+		Abandoned:     s.abandoned.Load(),
 		QueueDepth:    queueDepth,
 		QueueCapacity: queueCap,
 		PoolHits:      hits,

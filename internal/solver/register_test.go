@@ -1,0 +1,47 @@
+package solver
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegister: runtime entries resolve via ByName and Names, collide
+// loudly with builtins and each other, and vanish on removal.
+func TestRegister(t *testing.T) {
+	entry := Entry{
+		Name:          "test-registered",
+		Description:   "runtime registration test entry",
+		DefaultFamily: "cycle",
+		Prepare: func(req Request) (Prepared, error) {
+			return &prepared{run: func() (*Outcome, error) { return &Outcome{}, nil }}, nil
+		},
+	}
+	remove, err := Register(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ByName("test-registered"); !ok {
+		t.Fatal("registered entry not resolvable")
+	}
+	names := Names()
+	if names[len(names)-1] != "test-registered" {
+		t.Fatalf("registered entry not listed last: %v", names)
+	}
+	if _, err := Register(entry); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration accepted: %v", err)
+	}
+	if _, err := Register(Entry{Name: "clash", Aliases: []string{"cole-vishkin"}, Prepare: entry.Prepare}); err == nil {
+		t.Fatal("alias collision with a builtin accepted")
+	}
+	remove()
+	if _, ok := ByName("test-registered"); ok {
+		t.Fatal("removed entry still resolvable")
+	}
+
+	if _, err := Register(Entry{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := Register(Entry{Name: "no-prepare"}); err == nil {
+		t.Fatal("nil Prepare accepted")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"locallab/internal/coloring"
 	"locallab/internal/core"
@@ -533,9 +534,59 @@ func Registry() []Entry {
 	}
 }
 
+// extra holds entries added at runtime via Register, after the builtin
+// registry in registration order.
+var (
+	extraMu sync.Mutex
+	extra   []Entry
+)
+
+// Register adds a runtime entry to the registry (after the builtins, in
+// registration order) and returns a function that removes it again.
+// It rejects entries whose name or aliases collide with an existing
+// entry. The intended use is test instrumentation — e.g. the serving
+// layer registering a deliberately faulty solver to exercise its
+// failure paths — so production registries stay declarative.
+func Register(e Entry) (func(), error) {
+	if e.Name == "" {
+		return nil, fmt.Errorf("solver: register: empty name")
+	}
+	if e.Prepare == nil {
+		return nil, fmt.Errorf("solver: register %q: nil Prepare", e.Name)
+	}
+	for _, name := range append([]string{e.Name}, e.Aliases...) {
+		if _, ok := ByName(name); ok {
+			return nil, fmt.Errorf("solver: register %q: name %q already registered", e.Name, name)
+		}
+	}
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	extra = append(extra, e)
+	name := e.Name
+	return func() {
+		extraMu.Lock()
+		defer extraMu.Unlock()
+		for i := range extra {
+			if extra[i].Name == name {
+				extra = append(extra[:i], extra[i+1:]...)
+				return
+			}
+		}
+	}, nil
+}
+
+// allEntries is the builtin registry plus runtime registrations.
+func allEntries() []Entry {
+	entries := Registry()
+	extraMu.Lock()
+	entries = append(entries, extra...)
+	extraMu.Unlock()
+	return entries
+}
+
 // ByName looks an entry up by its canonical name or an alias.
 func ByName(name string) (Entry, bool) {
-	for _, e := range Registry() {
+	for _, e := range allEntries() {
 		if e.Name == name {
 			return e, true
 		}
@@ -548,9 +599,10 @@ func ByName(name string) (Entry, bool) {
 	return Entry{}, false
 }
 
-// Names returns the canonical registry names in canonical order.
+// Names returns the canonical registry names in canonical order,
+// runtime registrations last.
 func Names() []string {
-	entries := Registry()
+	entries := allEntries()
 	out := make([]string, len(entries))
 	for i, e := range entries {
 		out[i] = e.Name
