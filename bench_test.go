@@ -19,7 +19,9 @@ import (
 	"locallab/internal/gadget"
 	"locallab/internal/graph"
 	"locallab/internal/lcl"
+	"locallab/internal/scenario"
 	"locallab/internal/sinkless"
+	"locallab/internal/twin"
 )
 
 func benchExperiment(b *testing.B, run func(experiments.Scale) (*experiments.Result, error)) {
@@ -219,5 +221,42 @@ func BenchmarkBallGathering(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.BallAround(graph.NodeID(i%g.NumNodes()), 8)
+	}
+}
+
+// BenchmarkAutoscaleMixedGrid is the cost-twin acceptance benchmark: the
+// autoscale-mixed builtin grid (one engine-backed solver, cell sizes
+// spanning two orders of magnitude) under the static split versus the
+// twin-driven adaptive split, at the same total worker budget
+// (GOMAXPROCS). Statically, the grid layer is the only parallel one, so
+// the huge cells run on single-worker engines and dominate the
+// makespan; the autoscaler gives exactly those cells the engine workers
+// the twin prices as worthwhile. The win only materializes with cores
+// to split (compare the sub-benchmarks on a multi-core runner — the
+// nightly CI job records the ratio); the report bytes are identical
+// either way, which TestAutoscaleByteIdentity pins.
+func BenchmarkAutoscaleMixedGrid(b *testing.B) {
+	spec, ok := scenario.Builtin("autoscale-mixed")
+	if !ok {
+		b.Fatal("autoscale-mixed builtin missing")
+	}
+	tw, err := twin.LoadFile("TWIN_0.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts scenario.RunOptions
+	}{
+		{"static", scenario.RunOptions{}},
+		{"autoscale", scenario.RunOptions{Autoscale: true, Twin: tw}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scenario.Run(spec, mode.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

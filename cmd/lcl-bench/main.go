@@ -6,6 +6,7 @@
 //
 //	lcl-bench [-quick] [-only E-F1,E-T11] [-workers 8] [-shards 32] [-json out.json]
 //	lcl-bench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//	lcl-bench -calibrate BENCH_0.json -json TWIN_0.json
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"locallab/internal/experiments"
 	"locallab/internal/scenario"
 	"locallab/internal/solver"
+	"locallab/internal/twin"
 )
 
 func main() {
@@ -44,6 +46,27 @@ func writeMemProfile(path string) error {
 	return nil
 }
 
+// runCalibrate fits the cost twin from a report and writes the
+// canonical locallab.twin/v1 artifact: the calibration mode behind
+// TWIN_0.json and the CI twin-smoke recalibration (docs/COSTTWIN.md).
+func runCalibrate(reportPath, out string) error {
+	t, err := twin.CalibrateFile(reportPath)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = "TWIN.json"
+	}
+	if err := t.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("twin calibrated from %s (%d models, source %q)\n", reportPath, len(t.Models), t.Source)
+	fmt.Printf("max relative error: rounds %.4f, deliveries %.4f, relay_words %.4f (tolerance %.2f)\n",
+		t.Errors.Rounds.MaxRel, t.Errors.Deliveries.MaxRel, t.Errors.RelayWords.MaxRel, t.Tolerance)
+	fmt.Println("twin written to", out)
+	return nil
+}
+
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("lcl-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "small sizes (seconds instead of minutes)")
@@ -54,8 +77,12 @@ func run(args []string) (err error) {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	listSolvers := fs.Bool("list-solvers", false, "list the unified solver registry (shared with lcl-run and lcl-scenario) and exit")
+	calibrate := fs.String("calibrate", "", "calibrate the analytical cost twin from a locallab.report/v1 report file and write the locallab.twin/v1 artifact to -json (default TWIN.json); skips the experiment suite")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *calibrate != "" {
+		return runCalibrate(*calibrate, *jsonOut)
 	}
 	if *listSolvers {
 		for _, e := range solver.Registry() {

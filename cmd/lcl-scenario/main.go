@@ -9,13 +9,18 @@
 // Parallelism precedence: a scenario's engine.workers always governs the
 // engine layer inside its cells; -workers governs only the grid layer.
 // Passing -workers > 1 explicitly while a scenario pins engine.workers
-// > 1 is rejected loudly (exactly one layer may parallelize).
+// > 1 is rejected loudly (exactly one layer may parallelize). With
+// -autoscale and a calibrated cost twin (-twin), -workers becomes a
+// total budget instead: the twin splits it between the grid and engine
+// layers per cell (docs/COSTTWIN.md), still emitting byte-identical
+// reports.
 //
 // Usage:
 //
 //	lcl-scenario -builtin ci-smoke -json bench.json
 //	lcl-scenario -spec workload.json -workers 8
 //	lcl-scenario -builtin regular -shards 64 -timing
+//	lcl-scenario -builtin autoscale-mixed -autoscale -twin TWIN_0.json
 //	lcl-scenario -list
 package main
 
@@ -28,6 +33,7 @@ import (
 	"locallab/internal/graph"
 	"locallab/internal/measure"
 	"locallab/internal/scenario"
+	"locallab/internal/twin"
 )
 
 func main() {
@@ -46,6 +52,8 @@ func run(args []string, stdout *os.File) error {
 	workers := fs.Int("workers", 0, "grid workers: each scenario's (size × seed) cells run this wide (0 = GOMAXPROCS); spec engine.workers governs the engine layer, and an explicit value > 1 conflicts loudly with spec-pinned engine workers")
 	shards := fs.Int("shards", 0, "override engine shards for engine-aware solvers (0 = spec values; outputs identical either way)")
 	timing := fs.Bool("timing", false, "record per-cell wall time in the report (makes reports non-byte-identical)")
+	autoscale := fs.Bool("autoscale", false, "twin-driven adaptive split: -workers becomes a total budget divided between the grid and engine layers per cell (requires -twin); report bytes identical to the static split")
+	twinPath := fs.String("twin", "", "path to a locallab.twin/v1 artifact (e.g. TWIN_0.json) for -autoscale")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,11 +76,23 @@ func run(args []string, stdout *os.File) error {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	var tw *twin.Twin
+	if *twinPath != "" {
+		tw, err = twin.LoadFile(*twinPath)
+		if err != nil {
+			return err
+		}
+	}
+	if *autoscale && tw == nil {
+		return fmt.Errorf("-autoscale requires -twin (calibrate one with lcl-bench -calibrate)")
+	}
 	rep, err := scenario.Run(spec, scenario.RunOptions{
 		GridWorkers:         *workers,
 		GridWorkersExplicit: workersExplicit,
 		ShardOverride:       *shards,
 		Timing:              *timing,
+		Autoscale:           *autoscale,
+		Twin:                tw,
 	})
 	if err != nil {
 		return err

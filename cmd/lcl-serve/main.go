@@ -40,6 +40,7 @@ import (
 	"locallab/internal/scenario"
 	"locallab/internal/serve"
 	"locallab/internal/serve/loadgen"
+	"locallab/internal/twin"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func run(args []string, stdout *os.File) error {
 	serveWorkers := fs.Int("serve-workers", 0, "cell-executing workers draining the queue (0 = GOMAXPROCS)")
 	poolIdle := fs.Int("pool", 0, "max idle pooled runners across all cells (0 = default 64)")
 	prewarm := fs.String("prewarm", "", "serve mode: pre-warm the session pool with a builtin spec's cells")
+	twinPath := fs.String("twin", "", "load a locallab.twin/v1 artifact (e.g. TWIN_0.json): twin-ordered prewarm, predicted queue accounting in /debug/stats, and drain-derived 429 Retry-After")
 
 	loadgenMode := fs.Bool("loadgen", false, "drive one open-loop schedule instead of serving")
 	saturate := fs.Bool("saturate", false, "ramp offered rates and emit a locallab.load/v1 report")
@@ -73,6 +75,13 @@ func run(args []string, stdout *os.File) error {
 		return err
 	}
 	opts := serve.Options{QueueDepth: *queue, Workers: *serveWorkers, PoolMaxIdle: *poolIdle}
+	if *twinPath != "" {
+		tw, err := twin.LoadFile(*twinPath)
+		if err != nil {
+			return err
+		}
+		opts.Twin = tw
+	}
 	switch {
 	case *loadgenMode && *saturate:
 		return errors.New("-loadgen and -saturate are mutually exclusive")

@@ -218,6 +218,21 @@ func (c *Core[M]) NewSession(g *graph.Graph, machines []TypedMachine[M]) (*Sessi
 		}
 		s.shardLo[i+1] = s.shardLo[i] + int32(size)
 	}
+	// A size hint promises this session will actually execute, so the
+	// warm-up allocations (job channel, worker goroutines) happen here
+	// rather than on the first dispatch: the first Step then allocates
+	// exactly as little as the steady state. The message planes above
+	// are already allocated at full port extent either way — the hint
+	// only moves the pool startup, it never changes capacity or outputs.
+	if c.opts.Hint != nil && !inline {
+		s.startPool()
+		// One no-op barrier round-trip: parks every worker and the
+		// coordinator once, so even the runtime's lazily allocated park
+		// state exists before the first real round. After this, the first
+		// Reset+Step window allocates exactly as little as steady state
+		// (pinned by TestHintRemovesWarmupAllocations).
+		s.dispatch(phaseWarmup)
+	}
 	return s, nil
 }
 
@@ -243,22 +258,29 @@ func (s *Session[M]) dispatch(phase int) {
 		return
 	}
 	if !s.started {
-		s.jobs = make(chan int, s.shards)
-		for w := 0; w < s.workers; w++ {
-			go func() {
-				for i := range s.jobs {
-					s.runShard(i)
-					s.wg.Done()
-				}
-			}()
-		}
-		s.started = true
+		s.startPool()
 	}
 	s.wg.Add(s.shards)
 	for i := 0; i < s.shards; i++ {
 		s.jobs <- i
 	}
 	s.wg.Wait()
+}
+
+// startPool allocates the job channel and starts the worker goroutines.
+// It runs lazily on the first dispatch, or eagerly from NewSession when
+// an Options.Hint marks the session as certain to execute.
+func (s *Session[M]) startPool() {
+	s.jobs = make(chan int, s.shards)
+	for w := 0; w < s.workers; w++ {
+		go func() {
+			for i := range s.jobs {
+				s.runShard(i)
+				s.wg.Done()
+			}
+		}()
+	}
+	s.started = true
 }
 
 func (s *Session[M]) runShard(i int) {

@@ -107,6 +107,24 @@ type Options struct {
 	// single-threaded implementation with identical semantics. It is the
 	// oracle the determinism tests compare the sharded path against.
 	Sequential bool
+	// Hint, when non-nil, carries the cost twin's prediction for the
+	// execution about to run. It is purely a pre-sizing aid: sessions
+	// created under a hint perform their warm-up allocations (worker
+	// pool startup, job channel) eagerly in NewSession instead of lazily
+	// on the first dispatch, so the first Step is as allocation-free as
+	// the steady state. A wrong hint costs nothing but mis-sized
+	// warm-up; it can never change outputs (pinned by the byte-identity
+	// grids).
+	Hint *SizeHint
+}
+
+// SizeHint is a predicted execution profile (typically from
+// internal/twin) used to pre-size per-session state.
+type SizeHint struct {
+	// Rounds is the predicted number of rounds.
+	Rounds int
+	// Deliveries is the predicted total message deliveries.
+	Deliveries int64
 }
 
 // Engine executes synchronous rounds under fixed Options. The zero value
@@ -242,11 +260,16 @@ func (a *boxedMachine) Round(recv, send []Message) bool {
 	return done
 }
 
-// Execution phases of the round loop.
+// Execution phases of the round loop. phaseWarmup is a no-op barrier
+// round-trip: hinted sessions dispatch it once from NewSession so every
+// worker and the coordinator park at least once there, allocating the
+// runtime's lazy park state (sudogs, semaphores) before the first real
+// round.
 const (
 	phaseInit = iota
 	phaseCompute
 	phaseDeliver
+	phaseWarmup
 )
 
 // paddedBool keeps per-shard flags on separate cache lines so concurrent

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-exactness assertions are skipped under it.
+const raceEnabled = true

@@ -166,7 +166,25 @@ type Cell struct {
 // call. It is the primitive both ParallelSweep and the scenario runner
 // are built on.
 func ParallelCells(label string, specs []CellSpec, workers int, run func(c CellSpec) (int, error)) ([]Cell, error) {
-	cells, fail, err := runCells(specs, workers, run)
+	return ParallelCellsOrdered(label, specs, workers, nil, run)
+}
+
+// ParallelCellsOrdered is ParallelCells with an explicit dispatch order:
+// order[k] is the grid index of the k-th cell handed to the worker pool.
+// Results still come back in grid order and the error contract is
+// unchanged (every cell runs; the earliest grid cell's error wins), so
+// reordering can never change outputs — only wall-clock. The scenario
+// autoscaler uses it to dispatch predicted-heavy cells first, the
+// longest-processing-time heuristic that keeps a big cell from landing
+// last on an otherwise drained pool. A nil order means grid order; a
+// non-nil order must be a permutation of the grid indices.
+func ParallelCellsOrdered(label string, specs []CellSpec, workers int, order []int, run func(c CellSpec) (int, error)) ([]Cell, error) {
+	if order != nil {
+		if err := checkPermutation(order, len(specs)); err != nil {
+			return nil, fmt.Errorf("grid %s: %w", label, err)
+		}
+	}
+	cells, fail, err := runCells(specs, workers, order, run)
 	if err != nil {
 		c := specs[fail]
 		return nil, fmt.Errorf("grid %s cell n=%d seed=%d: %w", label, c.N, c.Seed, err)
@@ -174,16 +192,36 @@ func ParallelCells(label string, specs []CellSpec, workers int, run func(c CellS
 	return cells, nil
 }
 
+// checkPermutation validates a dispatch order against the grid size.
+func checkPermutation(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("dispatch order has %d entries for %d cells", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return fmt.Errorf("dispatch order is not a permutation of 0..%d", n-1)
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
 // runCells executes the grid and reports the index of the earliest
 // failing cell (with its unwrapped error) so each caller can attach its
-// own coordinate text.
-func runCells(specs []CellSpec, workers int, run func(c CellSpec) (int, error)) ([]Cell, int, error) {
+// own coordinate text. order, when non-nil, sets the dispatch sequence
+// (see ParallelCellsOrdered); results and error selection are
+// order-independent by construction.
+func runCells(specs []CellSpec, workers int, order []int, run func(c CellSpec) (int, error)) ([]Cell, int, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	out := make([]Cell, len(specs))
 	if workers == 1 {
-		// Sequential fast path, with early exit on the first error.
+		// Sequential fast path, with early exit on the first error. The
+		// dispatch order is ignored here on purpose: with one worker,
+		// order changes which failing cell is hit first, and the error
+		// contract pins the earliest grid cell regardless of scheduling.
 		for i, c := range specs {
 			rounds, err := run(c)
 			if err != nil {
@@ -211,8 +249,14 @@ func runCells(specs []CellSpec, workers int, run func(c CellSpec) (int, error)) 
 			}
 		}()
 	}
-	for i := range specs {
-		jobs <- i
+	if order != nil {
+		for _, i := range order {
+			jobs <- i
+		}
+	} else {
+		for i := range specs {
+			jobs <- i
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -242,7 +286,7 @@ func ParallelSweep(label string, sizes []int, reps int, workers int, run func(n 
 			specs = append(specs, CellSpec{N: n, Seed: cellSeed(n, r)})
 		}
 	}
-	cells, fail, err := runCells(specs, workers, func(c CellSpec) (int, error) {
+	cells, fail, err := runCells(specs, workers, nil, func(c CellSpec) (int, error) {
 		return run(c.N, c.Seed)
 	})
 	if err != nil {

@@ -251,3 +251,43 @@ func TestFormatSeries(t *testing.T) {
 		t.Errorf("FormatSeries = %q", got)
 	}
 }
+
+// TestParallelCellsOrdered: an explicit dispatch order changes only
+// scheduling — results stay in grid order, identical to the unordered
+// run — and a non-permutation order is rejected loudly.
+func TestParallelCellsOrdered(t *testing.T) {
+	specs := []CellSpec{{N: 8, Seed: 3}, {N: 16, Seed: 1}, {N: 32, Seed: 9}, {N: 64, Seed: 2}}
+	run := func(c CellSpec) (int, error) { return c.N*10 + int(c.Seed), nil }
+	want, err := ParallelCells("g", specs, 1, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]int{nil, {0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}} {
+		for _, workers := range []int{1, 2, 8} {
+			got, err := ParallelCellsOrdered("g", specs, workers, order, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("order=%v workers=%d: cells %+v, want grid order %+v", order, workers, got, want)
+			}
+		}
+	}
+	// Dispatch order is scheduling, not selection: every cell still runs
+	// exactly once under a reordered parallel fan-out.
+	var calls atomic.Int64
+	if _, err := ParallelCellsOrdered("g", specs, 2, []int{3, 2, 1, 0}, func(c CellSpec) (int, error) {
+		calls.Add(1)
+		return c.N, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != int64(len(specs)) {
+		t.Fatalf("reordered grid ran %d cells, want %d", calls.Load(), len(specs))
+	}
+	for _, bad := range [][]int{{0, 1, 2}, {0, 1, 2, 2}, {0, 1, 2, 4}, {-1, 1, 2, 3}} {
+		if _, err := ParallelCellsOrdered("g", specs, 2, bad, run); err == nil {
+			t.Errorf("order %v accepted, want permutation error", bad)
+		}
+	}
+}

@@ -173,6 +173,21 @@ func Builtins() []*Spec {
 			},
 		},
 		{
+			// autoscale-mixed is the adaptive-split benchmark grid: one
+			// engine-backed solver over sizes spanning two orders of
+			// magnitude, so the static split (grid-parallel × 1-worker
+			// engines) strands every worker but one on the single huge
+			// cell while autoscale gives that cell the engine workers the
+			// twin prices as worthwhile. Cycles keep instance construction
+			// linear and cheap — the engine-parallelizable solve dominates,
+			// which is the regime the split matters in.
+			Name: "autoscale-mixed",
+			Scenarios: []Scenario{
+				{Name: "cv-mixed", Family: "cycle", Solver: "cole-vishkin",
+					Sizes: []int{512, 2048, 65536}, Seeds: []int64{1, 2}},
+			},
+		},
+		{
 			Name: "regular-full",
 			Scenarios: []Scenario{
 				{Name: "sinkless-det", Family: "regular", Solver: "sinkless-det",

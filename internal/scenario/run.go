@@ -2,11 +2,13 @@ package scenario
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"locallab/internal/engine"
 	"locallab/internal/measure"
 	"locallab/internal/solver"
+	"locallab/internal/twin"
 )
 
 // RunOptions tunes scheduling and reporting; none of it changes the
@@ -35,6 +37,17 @@ type RunOptions struct {
 	// Timing records per-cell wall-clock time in the report. Timing
 	// fields vary run to run, so reports stop being byte-identical.
 	Timing bool
+	// Autoscale replaces the static exactly-one-layer-parallelizes split
+	// with the twin-driven adaptive one: GridWorkers becomes a *total*
+	// worker budget that planAutoscale divides between the grid and
+	// engine layers per cell (big cells get engine workers, small cells
+	// pack the grid), heavy cells dispatch first, and sessions are
+	// pre-sized from predicted deliveries. Requires Twin. Scheduling
+	// only: report bytes are identical to the static split (pinned by
+	// the autoscale byte-identity test).
+	Autoscale bool
+	// Twin is the calibrated cost twin consulted by Autoscale.
+	Twin *twin.Twin
 }
 
 // Run executes every scenario of the spec and assembles the report.
@@ -46,7 +59,14 @@ func Run(spec *Spec, opts RunOptions) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.GridWorkersExplicit && opts.GridWorkers > 1 {
+	if opts.Autoscale && opts.Twin == nil {
+		return nil, fmt.Errorf("autoscale requires a calibrated cost twin (load one with -twin)")
+	}
+	// The explicit-workers conflict rule guards the *static* split,
+	// where an engine pin and a wide grid would multiply into
+	// oversubscription. Under autoscale the budget is divided, not
+	// multiplied, so the combination is exactly what the flag asks for.
+	if !opts.Autoscale && opts.GridWorkersExplicit && opts.GridWorkers > 1 {
 		for i := range spec.Scenarios {
 			if w := spec.Scenarios[i].Engine.Workers; w > 1 {
 				return nil, fmt.Errorf("grid -workers %d conflicts with scenario %q pinning engine workers %d: exactly one layer may parallelize; pass -workers 1 to honor the spec's engine workers, or drop the scenario's engine pin",
@@ -86,19 +106,6 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	if opts.ShardOverride > 0 && sol.EngineAware {
 		engineParams.Shards = opts.ShardOverride
 	}
-	// Engine-aware solvers — including the padded hierarchy entries — get
-	// an explicit engine so scenario runs never depend on the mutable
-	// package-level engine defaults. Workers default to 1 inside a cell:
-	// the grid is the parallel layer.
-	var eng *engine.Engine
-	if sol.EngineAware {
-		w := engineParams.Workers
-		if w <= 0 {
-			w = 1
-		}
-		eng = engine.New(engine.Options{Workers: w, Shards: engineParams.Shards})
-	}
-
 	// Size-major grid order; cell index recovered from the spec grid so
 	// each cell writes only its own slot under the parallel fan-out.
 	grid := make([]measure.CellSpec, 0, len(sc.Sizes)*len(sc.Seeds))
@@ -110,20 +117,58 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 			grid = append(grid, cs)
 		}
 	}
+
+	// Static split (the default): the grid is the parallel layer and
+	// engine-aware solvers — including the padded hierarchy entries —
+	// get one explicit shared engine so scenario runs never depend on
+	// the mutable package-level engine defaults, with workers defaulting
+	// to 1 inside a cell. Autoscale replaces both decisions with a
+	// twin-derived plan: per-cell engines with planned worker counts and
+	// pre-sizing hints, a planned grid width, and heavy-first dispatch.
+	gridWorkers := opts.GridWorkers
+	var order []int
+	engineFor := func(int) *engine.Engine { return nil }
+	if sol.EngineAware {
+		w := engineParams.Workers
+		if w <= 0 {
+			w = 1
+		}
+		eng := engine.New(engine.Options{Workers: w, Shards: engineParams.Shards})
+		engineFor = func(int) *engine.Engine { return eng }
+	}
+	if opts.Autoscale {
+		budget := opts.GridWorkers
+		if budget < 1 {
+			budget = runtime.GOMAXPROCS(0)
+		}
+		plan := planAutoscale(sc, sol.EngineAware, engineParams, opts.Twin, budget, grid)
+		gridWorkers = plan.GridWorkers
+		order = plan.Order
+		if sol.EngineAware {
+			engineFor = func(i int) *engine.Engine {
+				return engine.New(engine.Options{
+					Workers: plan.EngineWorkers[i],
+					Shards:  engineParams.Shards,
+					Hint:    plan.Hints[i],
+				})
+			}
+		}
+	}
+
 	// Only the scalar report cell is kept per grid slot: retaining the
 	// full solver.Outcome (graph + labelings + padded diagnostics) across
 	// the grid would hold every instance live until report assembly.
 	outcomes := make([]CellResult, len(grid))
 	wall := make([]int64, len(grid))
-	_, err := measure.ParallelCells(sc.Name, grid, opts.GridWorkers, func(c measure.CellSpec) (int, error) {
+	_, err := measure.ParallelCellsOrdered(sc.Name, grid, gridWorkers, order, func(c measure.CellSpec) (int, error) {
 		// wall_nanos covers the whole cell — instance construction, solve,
 		// and verification — since the registry entry owns all three.
 		start := time.Now()
-		o, err := sol.Run(solver.Request{Family: sc.Family, N: c.N, Seed: c.Seed, Engine: eng})
+		i := index[c]
+		o, err := sol.Run(solver.Request{Family: sc.Family, N: c.N, Seed: c.Seed, Engine: engineFor(i)})
 		if err != nil {
 			return 0, err
 		}
-		i := index[c]
 		outcomes[i] = newCellResult(c.N, c.Seed, o)
 		wall[i] = time.Since(start).Nanoseconds()
 		return o.Rounds, nil

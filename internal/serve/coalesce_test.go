@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"locallab/internal/scenario"
+	"locallab/internal/solver"
+	"locallab/internal/twin"
+)
+
+func loadTwin(t *testing.T) *twin.Twin {
+	t.Helper()
+	tw, err := twin.LoadFile("../../TWIN_0.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tw
+}
+
+// registerBlockingSolver installs a registry entry whose Run signals
+// entry on started and then blocks until release is closed — the hook
+// the deterministic coalescing test uses to hold a job in flight.
+func registerBlockingSolver(t *testing.T, started, release chan struct{}) string {
+	t.Helper()
+	const name = "test-blocker"
+	remove, err := solver.Register(solver.Entry{
+		Name:          name,
+		Description:   "test-only solver whose Run blocks until released",
+		DefaultFamily: "cycle",
+		CycleOnly:     true,
+		Prepare: func(req solver.Request) (solver.Prepared, error) {
+			return blockingPrepared{started: started, release: release}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(remove)
+	return name
+}
+
+type blockingPrepared struct {
+	started, release chan struct{}
+}
+
+func (p blockingPrepared) Run() (*solver.Outcome, error) {
+	p.started <- struct{}{}
+	<-p.release
+	return &solver.Outcome{Nodes: 64, Edges: 64, Rounds: 1, Checksum: 0xfeed}, nil
+}
+func (p blockingPrepared) Close() {}
+
+// TestCoalescingSharesOneRun holds a job in flight and piles identical
+// requests onto it: exactly one run executes, the result fans out to
+// every waiter, and the books show one accepted and the rest coalesced.
+func TestCoalescingSharesOneRun(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	name := registerBlockingSolver(t, started, release)
+	s := New(Options{QueueDepth: 8, Workers: 1})
+	defer s.Close()
+
+	req := scenario.CellRequest{Family: "cycle", Solver: name, N: 64, Seed: 1}
+	const waiters = 4
+	results := make([]*scenario.CellResult, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = s.Do(context.Background(), req)
+	}()
+	<-started // the job is now being executed and pinned in flight
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Do(context.Background(), req)
+		}(i)
+	}
+	// Every follower must have attached before the run is released.
+	for s.Stats().Coalesced < waiters-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different result object: one run must fan out to all", i)
+		}
+	}
+	st := s.Stats()
+	if st.Accepted != 1 || st.Coalesced != waiters-1 || st.Completed != 1 {
+		t.Fatalf("want accepted=1 coalesced=%d completed=1, got %+v", waiters-1, st)
+	}
+}
+
+// TestCoalescedByteIdentity is the race-detector workout for the
+// coalescing path: concurrent identical requests — some coalesced, some
+// independent, depending on timing — all return exactly the bytes an
+// independent run produces, and every request is accounted as either
+// accepted or coalesced.
+func TestCoalescedByteIdentity(t *testing.T) {
+	req := cvCell(1, 4)
+	want, err := scenario.RunCell(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{QueueDepth: 16, Workers: 2})
+	defer s.Close()
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := s.Do(context.Background(), req)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			if *got != *want {
+				t.Errorf("coalesced-or-not result differs from independent run:\n got %+v\nwant %+v", *got, *want)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Accepted+st.Coalesced != clients {
+		t.Fatalf("books don't balance: accepted %d + coalesced %d != %d", st.Accepted, st.Coalesced, clients)
+	}
+	if st.Completed != st.Accepted {
+		t.Fatalf("completed %d != accepted %d", st.Completed, st.Accepted)
+	}
+}
+
+// TestRetryAfterSeconds pins the drain-time derivation: constant 1
+// without a twin, predicted-drain ceil with one, clamped to [1s, 30s].
+func TestRetryAfterSeconds(t *testing.T) {
+	bare := newServer(Options{Workers: 2}, false)
+	bare.stats.queuedPredNs.Store(10e9)
+	if got := bare.retryAfterSeconds(); got != 1 {
+		t.Fatalf("no twin: Retry-After %d, want the constant 1", got)
+	}
+
+	s := newServer(Options{Workers: 2, Twin: loadTwin(t)}, false)
+	for _, tc := range []struct {
+		queuedNs int64
+		want     int
+	}{
+		{0, 1},     // empty queue: minimum clamp
+		{100, 1},   // sub-second drain rounds up to the clamp
+		{5e9, 3},   // 5s of work across 2 workers → ceil(2.5s)
+		{4e9, 2},   // exact division
+		{1e12, 30}, // hours of predicted work: ceiling clamp
+		{-5, 1},    // transient negative (pickup raced admission)
+	} {
+		s.stats.queuedPredNs.Store(tc.queuedNs)
+		if got := s.retryAfterSeconds(); got != tc.want {
+			t.Errorf("queuedPredNs=%d: Retry-After %d, want %d", tc.queuedNs, got, tc.want)
+		}
+	}
+}
+
+// TestOverflowRetryAfterTwin: the 429 header carries the twin-derived
+// drain time instead of the constant 1.
+func TestOverflowRetryAfterTwin(t *testing.T) {
+	s := newServer(Options{QueueDepth: 1, Workers: 1, Twin: loadTwin(t)}, false)
+	s.queue <- &job{req: cvCell(1, 1), ready: make(chan struct{})}
+	s.stats.queuedPredNs.Store(7e9)
+	w := postRun(t, s.Handler(), `{"family":"cycle","solver":"cole-vishkin","n":64,"seed":1}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want 7", got)
+	}
+}
+
+// TestPrewarmTwinOrder: with a twin the predicted-expensive runner is
+// prepared last, so it is the one a tight idle bound keeps; without a
+// twin the request order stands and the expensive runner is evicted.
+func TestPrewarmTwinOrder(t *testing.T) {
+	big, small := cvCell(1, 4), cvCell(1, 4)
+	big.N, small.N = 256, 64
+	reqs := []scenario.CellRequest{big, small}
+
+	s := New(Options{PoolMaxIdle: 1, Twin: loadTwin(t)})
+	defer s.Close()
+	if s.predictNs(big) <= s.predictNs(small) {
+		t.Fatalf("twin prices n=256 (%d ns) at or below n=64 (%d ns)", s.predictNs(big), s.predictNs(small))
+	}
+	if err := s.Prewarm(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if key, n := soleIdle(t, s.pool); n != big.N {
+		t.Fatalf("twin prewarm kept %+v idle, want the n=%d cell", key, big.N)
+	}
+
+	bare := New(Options{PoolMaxIdle: 1})
+	defer bare.Close()
+	if err := bare.Prewarm(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if key, n := soleIdle(t, bare.pool); n != small.N {
+		t.Fatalf("untwinned prewarm kept %+v idle, want the n=%d cell (request order)", key, small.N)
+	}
+}
+
+// soleIdle returns the single idle runner's key under the pool lock.
+func soleIdle(t *testing.T, p *pool) (poolKey, int) {
+	t.Helper()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.order) != 1 {
+		t.Fatalf("pool holds %d idle runners, want 1", len(p.order))
+	}
+	return p.order[0], p.order[0].n
+}
+
+// TestStatsQueuedPrediction: admission charges the predicted service
+// time to the queue accounting and /debug/stats surfaces it; pickup
+// releases it.
+func TestStatsQueuedPrediction(t *testing.T) {
+	s := newServer(Options{QueueDepth: 4, Workers: 1, Twin: loadTwin(t)}, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Do(ctx, cvCell(1, 1)); err == nil {
+		t.Fatal("cancelled Do succeeded with no workers")
+	}
+	if ms := s.Stats().QueuedPredictedMs; ms <= 0 {
+		t.Fatalf("queued_predicted_ms %.3f after admitting a predicted cell, want > 0", ms)
+	}
+	s.wg.Add(1)
+	go s.worker()
+	s.Close()
+	if ms := s.Stats().QueuedPredictedMs; ms != 0 {
+		t.Fatalf("queued_predicted_ms %.3f after drain, want 0", ms)
+	}
+}
+
+// TestHandlerStatsCoalesced: the /debug/stats JSON carries the
+// coalesced counter.
+func TestHandlerStatsCoalesced(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/stats", nil))
+	body := w.Body.String()
+	for _, field := range []string{`"coalesced"`, `"queued_predicted_ms"`} {
+		if !strings.Contains(body, field) {
+			t.Fatalf("/debug/stats missing %s: %s", field, body)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"locallab/internal/graph"
 	"locallab/internal/scenario"
@@ -68,7 +69,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	cell, err := s.Do(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		// With a twin loaded, Retry-After is the predicted drain time of
+		// the queued work (clamped to [1s, 30s]); without one it stays
+		// the historical constant 1.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
 	case errors.Is(err, ErrClosed):

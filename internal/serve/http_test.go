@@ -101,7 +101,7 @@ func TestHandlerOverflow(t *testing.T) {
 	s := newServer(Options{QueueDepth: 1}, false)
 	h := s.Handler()
 	// Fill the queue out of band so the handler request overflows.
-	s.queue <- &job{req: cvCell(1, 1), done: make(chan jobResult, 1)}
+	s.queue <- &job{req: cvCell(1, 1), ready: make(chan struct{})}
 	w := postRun(t, h, `{"family":"cycle","solver":"cole-vishkin","n":64,"seed":1}`)
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", w.Code)

@@ -23,11 +23,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"locallab/internal/scenario"
+	"locallab/internal/twin"
 )
 
 // ErrOverloaded reports that the admission queue was full at arrival.
@@ -52,6 +54,13 @@ type Options struct {
 	// (default 64); the oldest idle runner is evicted (and closed) when
 	// the bound is hit.
 	PoolMaxIdle int
+	// Twin, when non-nil, is the calibrated cost twin (internal/twin)
+	// the server consults for scheduling hygiene: Prewarm orders cells
+	// so predicted-expensive runners survive the idle bound,
+	// /debug/stats carries the predicted drain time of the queued work,
+	// and 429 responses derive Retry-After from that drain estimate
+	// instead of the constant 1s. Predictions never touch served bytes.
+	Twin *twin.Twin
 }
 
 func (o Options) withDefaults() Options {
@@ -72,13 +81,22 @@ type jobResult struct {
 	err  error
 }
 
+// job is one queued cell run, shared by every request coalesced onto
+// it. The worker publishes the result by writing res and then closing
+// ready (the channel close is the happens-before edge every waiter
+// reads through); waiters counts the Do calls still waiting, and a job
+// whose waiters hit zero before pickup is skipped instead of burning a
+// runner on a result nobody reads.
 type job struct {
-	req  scenario.CellRequest
-	done chan jobResult // buffered 1: workers never block on delivery
-	// abandoned flips when the submitting Do gave up on the result
-	// (context cancelled while queued); workers skip abandoned jobs
-	// instead of burning a runner on a result nobody reads.
-	abandoned atomic.Bool
+	req scenario.CellRequest
+	key poolKey
+	// predNs is the twin-predicted service time charged to the queue's
+	// drain accounting at admission and released at pickup (0 without a
+	// twin or model).
+	predNs  int64
+	ready   chan struct{}
+	res     jobResult
+	waiters atomic.Int64
 }
 
 // Server runs scenario cells from a bounded queue on a fixed worker
@@ -91,8 +109,13 @@ type Server struct {
 	stats *stats
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex // guards closed and the enqueue-vs-Close race
+	mu     sync.Mutex // guards closed, inflight, and the enqueue-vs-Close race
 	closed bool
+	// inflight maps a cell's full identity to its queued or running job
+	// so identical requests share one run (coalescing). Entries are
+	// removed when the job finishes; a dead entry (all waiters gone) is
+	// replaced on the next identical request.
+	inflight map[poolKey]*job
 }
 
 // New starts a server with opts.Workers workers draining the queue.
@@ -105,10 +128,11 @@ func New(opts Options) *Server {
 func newServer(opts Options, startWorkers bool) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		queue: make(chan *job, opts.QueueDepth),
-		pool:  newPool(opts.PoolMaxIdle),
-		stats: newStats(),
+		opts:     opts,
+		queue:    make(chan *job, opts.QueueDepth),
+		pool:     newPool(opts.PoolMaxIdle),
+		stats:    newStats(),
+		inflight: map[poolKey]*job{},
 	}
 	if startWorkers {
 		s.wg.Add(opts.Workers)
@@ -123,43 +147,98 @@ func newServer(opts Options, startWorkers bool) *Server {
 // fail before admission with the exact scenario validation message; a
 // full queue fails immediately with ErrOverloaded. Cancelling ctx
 // abandons the wait (an already-admitted job still runs to completion).
+//
+// Requests whose full cell key — family, solver, n, seed, engine
+// geometry — matches a queued or in-flight job with live waiters
+// coalesce onto that job: one run, the result fanned out to every
+// waiter. Coalesced requests consume no queue slot (they cannot be
+// rejected by a full queue) and count in the coalesced stat. Cell
+// results are deterministic per key, so sharing a run returns exactly
+// the bytes an independent run would (pinned by the coalescing
+// byte-identity test).
 func (s *Server) Do(ctx context.Context, req scenario.CellRequest) (*scenario.CellResult, error) {
 	if err := req.Validate(); err != nil {
 		s.stats.invalid.Add(1)
 		return nil, err
 	}
-	j := &job{req: req, done: make(chan jobResult, 1)}
+	key := keyOf(req)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if prior := s.inflight[key]; prior != nil && attach(prior) {
+		s.mu.Unlock()
+		s.stats.coalesced.Add(1)
+		return s.await(ctx, prior)
+	}
+	j := &job{req: req, key: key, predNs: s.predictNs(req), ready: make(chan struct{})}
+	j.waiters.Store(1)
 	select {
 	case s.queue <- j:
+		// Replace any dead entry under the same key: its queued job will
+		// be skipped at pickup, this one is now the coalescing target.
+		s.inflight[key] = j
 		s.mu.Unlock()
 		s.stats.accepted.Add(1)
+		s.stats.queuedPredNs.Add(j.predNs)
 	default:
 		s.mu.Unlock()
 		s.stats.rejected.Add(1)
 		return nil, ErrOverloaded
 	}
+	return s.await(ctx, j)
+}
+
+// attach joins a waiter to an existing job, failing when the job has no
+// live waiters left (every submitter cancelled: the job is dead and
+// will be skipped at pickup, so its result will never exist). The CAS
+// loop races only with waiter cancellation — attaches themselves are
+// serialized under s.mu.
+func attach(j *job) bool {
+	for {
+		w := j.waiters.Load()
+		if w <= 0 {
+			return false
+		}
+		if j.waiters.CompareAndSwap(w, w+1) {
+			return true
+		}
+	}
+}
+
+// await blocks until the job publishes its result or ctx is cancelled.
+func (s *Server) await(ctx context.Context, j *job) (*scenario.CellResult, error) {
 	select {
-	case r := <-j.done:
-		return r.cell, r.err
+	case <-j.ready:
+		return j.res.cell, j.res.err
 	case <-ctx.Done():
-		// Mark the queued job so a worker picking it up later skips it
-		// rather than running a cell nobody is waiting for. A job already
-		// being executed runs to completion (the mark is checked only at
-		// pickup).
-		j.abandoned.Store(true)
+		// Drop this waiter; the job is skipped at pickup only when every
+		// waiter (submitter and coalesced alike) has given up. A job
+		// already being executed runs to completion (waiters are checked
+		// only at pickup).
+		j.waiters.Add(-1)
 		return nil, ctx.Err()
 	}
 }
 
 // Prewarm prepares one pooled runner per request, so the first real
 // request for each cell skips graph build and session construction.
-// Requests beyond the pool's idle bound evict older entries.
+// Requests beyond the pool's idle bound evict older entries. With a
+// twin loaded, predicted-cheap cells are prepared first: the pool
+// evicts oldest-first, so the predicted-expensive runners — the ones
+// whose cold-start the prediction prices highest — are the newest idle
+// entries and survive a tight idle bound. The order is a stable sort,
+// so equal-cost cells keep their request order.
 func (s *Server) Prewarm(reqs []scenario.CellRequest) error {
+	if s.opts.Twin != nil && len(reqs) > 1 {
+		ordered := make([]scenario.CellRequest, len(reqs))
+		copy(ordered, reqs)
+		sort.SliceStable(ordered, func(a, b int) bool {
+			return s.predictNs(ordered[a]) < s.predictNs(ordered[b])
+		})
+		reqs = ordered
+	}
 	for _, req := range reqs {
 		if err := req.Validate(); err != nil {
 			return err
@@ -171,6 +250,46 @@ func (s *Server) Prewarm(reqs []scenario.CellRequest) error {
 		s.pool.release(r)
 	}
 	return nil
+}
+
+// predictNs is the twin-predicted wall-clock of one request in
+// nanoseconds, 0 when no twin is loaded or the twin has no model for
+// the cell.
+func (s *Server) predictNs(req scenario.CellRequest) int64 {
+	if s.opts.Twin == nil {
+		return 0
+	}
+	w := req.Engine.Workers
+	if w <= 0 {
+		w = 1
+	}
+	p, ok := s.opts.Twin.Predict(req.Family, req.Solver, req.N, w, req.Engine.Shards)
+	if !ok {
+		return 0
+	}
+	return p.WallNs
+}
+
+// retryAfterSeconds derives the 429 Retry-After value: the predicted
+// time for the current workers to drain the queued work, rounded up and
+// clamped to [1s, 30s]. Without a twin the historical constant 1 stands.
+func (s *Server) retryAfterSeconds() int {
+	if s.opts.Twin == nil {
+		return 1
+	}
+	ns := s.stats.queuedPredNs.Load()
+	if ns <= 0 {
+		return 1
+	}
+	drain := ns / int64(s.opts.Workers)
+	secs := (drain + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return int(secs)
 }
 
 // Stats snapshots the server's counters.
@@ -197,13 +316,31 @@ func (s *Server) Close() {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		if j.abandoned.Load() {
+		s.stats.queuedPredNs.Add(-j.predNs)
+		if j.waiters.Load() <= 0 {
 			s.stats.abandoned.Add(1)
-			j.done <- jobResult{err: context.Canceled}
+			s.finish(j, jobResult{err: context.Canceled})
 			continue
 		}
-		j.done <- s.runJob(j.req)
+		s.finish(j, s.runJob(j.req))
 	}
+}
+
+// finish retires a job from the coalescing index and publishes its
+// result. The index entry is removed under the lock *before* ready is
+// closed: a Do holding the lock either still sees the entry (and will
+// observe the result through the close) or sees no entry and starts a
+// fresh job — never a closed-and-forgotten one. The entry is only
+// removed when it still points at this job; a dead job's slot may have
+// been taken by a fresh one.
+func (s *Server) finish(j *job, r jobResult) {
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	j.res = r
+	close(j.ready)
 }
 
 func (s *Server) runJob(req scenario.CellRequest) (res jobResult) {

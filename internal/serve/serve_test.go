@@ -156,9 +156,14 @@ func TestConcurrentLoad(t *testing.T) {
 	if completed+rejectedCount != clients*perClient {
 		t.Fatalf("lost requests: completed %d + rejected %d != sent %d", completed, rejectedCount, clients*perClient)
 	}
+	// Successful requests were either admitted runs or coalesced onto
+	// one; every admitted run completed (no waiter ever cancels here).
 	st := s.Stats()
-	if st.Completed != int64(completed) || st.Rejected != int64(rejectedCount) {
+	if st.Accepted+st.Coalesced != int64(completed) || st.Rejected != int64(rejectedCount) {
 		t.Fatalf("stats disagree with client books: %+v vs completed %d rejected %d", st, completed, rejectedCount)
+	}
+	if st.Completed != st.Accepted {
+		t.Fatalf("completed runs %d != accepted jobs %d", st.Completed, st.Accepted)
 	}
 }
 

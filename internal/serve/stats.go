@@ -19,6 +19,13 @@ type stats struct {
 	completed atomic.Int64
 	errored   atomic.Int64
 	abandoned atomic.Int64
+	// coalesced counts requests that attached to an identical queued or
+	// in-flight cell instead of consuming a queue slot.
+	coalesced atomic.Int64
+	// queuedPredNs is the twin-predicted service time of the queued
+	// work: charged at admission, released at pickup. It backs the 429
+	// Retry-After drain estimate; 0 when no twin is loaded.
+	queuedPredNs atomic.Int64
 
 	mu        sync.Mutex
 	histogram map[string]*latencyHist
@@ -97,18 +104,22 @@ type SolverStats struct {
 
 // Stats is the /debug/stats snapshot.
 type Stats struct {
-	Accepted      int64                  `json:"accepted"`
-	Rejected      int64                  `json:"rejected"`
-	Invalid       int64                  `json:"invalid"`
-	Completed     int64                  `json:"completed"`
-	Errored       int64                  `json:"errored"`
-	Abandoned     int64                  `json:"abandoned"`
-	QueueDepth    int                    `json:"queue_depth"`
-	QueueCapacity int                    `json:"queue_capacity"`
-	PoolHits      int64                  `json:"pool_hits"`
-	PoolMisses    int64                  `json:"pool_misses"`
-	PoolIdle      int                    `json:"pool_idle"`
-	Solvers       map[string]SolverStats `json:"solvers,omitempty"`
+	Accepted      int64 `json:"accepted"`
+	Rejected      int64 `json:"rejected"`
+	Invalid       int64 `json:"invalid"`
+	Completed     int64 `json:"completed"`
+	Errored       int64 `json:"errored"`
+	Abandoned     int64 `json:"abandoned"`
+	Coalesced     int64 `json:"coalesced"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	// QueuedPredictedMs is the twin-predicted total service time of the
+	// currently queued work, in milliseconds (0 without a twin).
+	QueuedPredictedMs float64                `json:"queued_predicted_ms"`
+	PoolHits          int64                  `json:"pool_hits"`
+	PoolMisses        int64                  `json:"pool_misses"`
+	PoolIdle          int                    `json:"pool_idle"`
+	Solvers           map[string]SolverStats `json:"solvers,omitempty"`
 }
 
 func (s *stats) snapshot(queueDepth, queueCap int, p *pool) Stats {
@@ -120,11 +131,15 @@ func (s *stats) snapshot(queueDepth, queueCap int, p *pool) Stats {
 		Completed:     s.completed.Load(),
 		Errored:       s.errored.Load(),
 		Abandoned:     s.abandoned.Load(),
+		Coalesced:     s.coalesced.Load(),
 		QueueDepth:    queueDepth,
 		QueueCapacity: queueCap,
 		PoolHits:      hits,
 		PoolMisses:    misses,
 		PoolIdle:      idle,
+	}
+	if ns := s.queuedPredNs.Load(); ns > 0 {
+		out.QueuedPredictedMs = float64(ns) / 1e6
 	}
 	s.mu.Lock()
 	if len(s.histogram) > 0 {

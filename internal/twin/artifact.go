@@ -1,0 +1,56 @@
+package twin
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CanonicalJSON renders the twin in its canonical byte form: two-space
+// indented, fixed field order (struct order), models sorted by (solver,
+// family), trailing newline — the same discipline as report
+// CanonicalJSON, so TWIN_*.json trajectories diff textually and the CI
+// twin-smoke job can compare recalibrations with cmp.
+func (t *Twin) CanonicalJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("twin: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the canonical JSON to path.
+func (t *Twin) WriteFile(path string) error {
+	data, err := t.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load parses a locallab.twin/v1 artifact and resolves its shapes.
+func Load(data []byte) (*Twin, error) {
+	var t Twin
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("twin: parse artifact: %w", err)
+	}
+	if t.Schema != SchemaVersion {
+		return nil, fmt.Errorf("twin: artifact schema %q, want %q", t.Schema, SchemaVersion)
+	}
+	if len(t.Models) == 0 {
+		return nil, fmt.Errorf("twin: artifact has no models")
+	}
+	if err := t.buildIndex(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadFile loads a twin artifact from disk.
+func LoadFile(path string) (*Twin, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("twin: %w", err)
+	}
+	return Load(data)
+}

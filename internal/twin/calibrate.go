@@ -1,0 +1,408 @@
+package twin
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// reportSchemaVersion is the report schema the calibrator accepts. The
+// twin parses report JSON with its own structs instead of importing
+// internal/scenario, so scenario (and everything above it) can import
+// the twin without a cycle.
+const reportSchemaVersion = "locallab.report/v1"
+
+type reportDoc struct {
+	Schema    string           `json:"schema"`
+	Name      string           `json:"name"`
+	Scenarios []reportScenario `json:"scenarios"`
+}
+
+type reportScenario struct {
+	Name   string       `json:"name"`
+	Family string       `json:"family"`
+	Solver string       `json:"solver"`
+	Engine reportEngine `json:"engine"`
+	Cells  []reportCell `json:"cells"`
+}
+
+type reportEngine struct {
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+}
+
+type reportCell struct {
+	N          int   `json:"n"`
+	Seed       int64 `json:"seed"`
+	Nodes      int   `json:"nodes"`
+	Edges      int   `json:"edges"`
+	Rounds     int   `json:"rounds"`
+	Messages   int64 `json:"messages"`
+	RelayWords int64 `json:"relay_words"`
+	WallNanos  int64 `json:"wall_nanos"`
+}
+
+// calCell is one calibration observation: a report cell plus the engine
+// geometry its scenario ran under (the wall fit needs it).
+type calCell struct {
+	reportCell
+	workers, shards int
+}
+
+// Calibrate fits a twin from canonical locallab.report/v1 bytes: one
+// model per (solver, family) pair, constants by least squares, errors
+// recorded over every cell. Reports carrying wall_nanos (timing mode)
+// additionally calibrate the wall model; without timing the defaults
+// stand. Calibration of identical report bytes is deterministic: cells
+// are accumulated in report order and models sorted by (solver,
+// family).
+func Calibrate(reportJSON []byte) (*Twin, error) {
+	var doc reportDoc
+	if err := json.Unmarshal(reportJSON, &doc); err != nil {
+		return nil, fmt.Errorf("twin: parse report: %w", err)
+	}
+	if doc.Schema != reportSchemaVersion {
+		return nil, fmt.Errorf("twin: report schema %q, want %q", doc.Schema, reportSchemaVersion)
+	}
+	groups := map[modelKey][]calCell{}
+	var order []modelKey // first-appearance order, for deterministic iteration
+	for i := range doc.Scenarios {
+		sc := &doc.Scenarios[i]
+		key := modelKey{sc.Solver, sc.Family}
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		for _, c := range sc.Cells {
+			groups[key] = append(groups[key], calCell{reportCell: c, workers: sc.Engine.Workers, shards: sc.Engine.Shards})
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("twin: report %q has no scenario cells", doc.Name)
+	}
+	t := &Twin{
+		Schema:    SchemaVersion,
+		Tool:      "lcl-bench",
+		Source:    doc.Name,
+		Tolerance: DefaultTolerance,
+		Wall:      DefaultWall,
+	}
+	for _, key := range order {
+		m, err := fitModel(key, groups[key])
+		if err != nil {
+			return nil, err
+		}
+		t.Models = append(t.Models, *m)
+	}
+	sort.Slice(t.Models, func(i, j int) bool {
+		a, b := &t.Models[i], &t.Models[j]
+		if a.Solver != b.Solver {
+			return a.Solver < b.Solver
+		}
+		return a.Family < b.Family
+	})
+	if err := t.buildIndex(); err != nil {
+		return nil, err
+	}
+	t.calibrateWall(groups)
+	t.accumulateErrors(groups)
+	return t, nil
+}
+
+// CalibrateFile calibrates from a report file on disk.
+func CalibrateFile(path string) (*Twin, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("twin: %w", err)
+	}
+	return Calibrate(data)
+}
+
+// fitModel calibrates one (solver, family) model from its cells.
+func fitModel(key modelKey, cells []calCell) (*Model, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("twin: no cells for %s/%s", key.solver, key.family)
+	}
+	shapeName := ShapeFor(key.solver)
+	shape, ok := shapeByName(shapeName)
+	if !ok {
+		return nil, fmt.Errorf("twin: solver %q maps to unknown shape %q", key.solver, shapeName)
+	}
+	m := &Model{
+		Solver: key.solver,
+		Family: key.family,
+		Shape:  shapeName,
+		Cells:  len(cells),
+		shape:  shape,
+	}
+	xsN := make([]float64, len(cells))
+	for i, c := range cells {
+		xsN[i] = float64(c.N)
+	}
+	m.Nodes = fitAffine(xsN, collect(cells, func(c calCell) float64 { return float64(c.Nodes) }))
+	m.Edges = fitAffine(xsN, collect(cells, func(c calCell) float64 { return float64(c.Edges) }))
+	xsF := make([]float64, len(cells))
+	for i, c := range cells {
+		xsF[i] = shape(float64(c.N))
+	}
+	m.Rounds = fitAffine(xsF, collect(cells, func(c calCell) float64 { return float64(c.Rounds) }))
+	if anyPositive(cells, func(c calCell) int64 { return c.Messages }) {
+		// Deliveries regress on the analytical skeleton evaluated with the
+		// *fitted* rounds/edges — the same pipeline Predict walks — so the
+		// recorded errors are Predict's errors.
+		xsS := make([]float64, len(cells))
+		for i, c := range cells {
+			r := m.Rounds.at(shape(float64(c.N)))
+			e := m.Edges.at(float64(c.N))
+			s := r * e
+			s = s * 2
+			xsS[i] = s
+		}
+		fit := fitAffine(xsS, collect(cells, func(c calCell) float64 { return float64(c.Messages) }))
+		m.Deliveries = &fit
+	}
+	if anyPositive(cells, func(c calCell) int64 { return c.RelayWords }) {
+		fit := fitAffine(xsN, collect(cells, func(c calCell) float64 { return float64(c.RelayWords) }))
+		m.RelayWords = &fit
+	}
+	return m, nil
+}
+
+func collect(cells []calCell, f func(calCell) float64) []float64 {
+	out := make([]float64, len(cells))
+	for i, c := range cells {
+		out[i] = f(c)
+	}
+	return out
+}
+
+func anyPositive(cells []calCell, f func(calCell) int64) bool {
+	for _, c := range cells {
+		if f(c) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// fitAffine solves the 1-D least squares y ≈ a·x + b by normal
+// equations. A singular system — all x equal, which the ci-smoke
+// baseline genuinely produces (log*(64) == log*(256)) — degrades to the
+// scale-only fit a = Σxy/Σx² (or a pure offset when even Σx² vanishes).
+// Each accumulation and solve step is a single operation per statement:
+// no expression is eligible for FMA contraction, so the constants are
+// bit-identical on every architecture.
+func fitAffine(xs, ys []float64) LinFit {
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		x := xs[i]
+		y := ys[i]
+		sx = sx + x
+		sy = sy + y
+		xx := x * x
+		sxx = sxx + xx
+		xy := x * y
+		sxy = sxy + xy
+	}
+	n := float64(len(xs))
+	nsxx := n * sxx
+	sxsx := sx * sx
+	det := nsxx - sxsx
+	// Scale-invariant singularity test: det is O(n²·x²) for a healthy
+	// spread, so compare against the same magnitude.
+	tol := 1e-9 * nsxx
+	if det > tol {
+		nsxy := n * sxy
+		sxsy := sx * sy
+		num := nsxy - sxsy
+		a := num / det
+		asx := a * sx
+		bnum := sy - asx
+		b := bnum / n
+		return LinFit{Scale: a, Offset: b}
+	}
+	if sxx > 0 {
+		a := sxy / sxx
+		return LinFit{Scale: a, Offset: 0}
+	}
+	b := sy / n
+	return LinFit{Scale: 0, Offset: b}
+}
+
+// accumulateErrors records the per-model and global twin-vs-measured
+// relative error over every calibration cell, computed on the rounded
+// integer predictions Predict returns (that is what the CI gate
+// compares against reports).
+func (t *Twin) accumulateErrors(groups map[modelKey][]calCell) {
+	var global [3]errAcc
+	for i := range t.Models {
+		m := &t.Models[i]
+		var local [3]errAcc
+		for _, c := range groups[modelKey{m.Solver, m.Family}] {
+			pf := m.predictF(c.N)
+			local[0].add(float64(roundNonNeg(pf.rounds)), float64(c.Rounds))
+			if pf.hasDeliveries {
+				local[1].add(float64(roundNonNeg(pf.deliveries)), float64(c.Messages))
+			}
+			if pf.hasRelay {
+				local[2].add(float64(roundNonNeg(pf.relayWords)), float64(c.RelayWords))
+			}
+		}
+		m.MaxRel = Errors{Rounds: local[0].done(), Deliveries: local[1].done(), RelayWords: local[2].done()}
+		for k := range global {
+			global[k].merge(local[k])
+		}
+	}
+	t.Errors = Errors{Rounds: global[0].done(), Deliveries: global[1].done(), RelayWords: global[2].done()}
+}
+
+type errAcc struct {
+	maxRel float64
+	sumRel float64
+	cells  int
+}
+
+func (e *errAcc) add(pred, meas float64) {
+	denom := meas
+	if denom < 1 {
+		denom = 1
+	}
+	diff := pred - meas
+	rel := math.Abs(diff) / denom
+	if rel > e.maxRel {
+		e.maxRel = rel
+	}
+	e.sumRel = e.sumRel + rel
+	e.cells++
+}
+
+func (e *errAcc) merge(o errAcc) {
+	if o.maxRel > e.maxRel {
+		e.maxRel = o.maxRel
+	}
+	e.sumRel = e.sumRel + o.sumRel
+	e.cells = e.cells + o.cells
+}
+
+func (e errAcc) done() MetricError {
+	out := MetricError{MaxRel: e.maxRel, Cells: e.cells}
+	if e.cells > 0 {
+		out.MeanRel = e.sumRel / float64(e.cells)
+	}
+	return out
+}
+
+// calibrateWall fits the four wall constants by least squares when the
+// report carries wall_nanos (timing mode); otherwise the defaults
+// stand. Nonphysical solutions (any negative constant, or a singular
+// system — e.g. every scenario at the same geometry) keep the defaults
+// too: a wall model is only worth trusting when the data could actually
+// identify it.
+func (t *Twin) calibrateWall(groups map[modelKey][]calCell) {
+	var rows [][4]float64
+	var ys []float64
+	for i := range t.Models {
+		m := &t.Models[i]
+		for _, c := range groups[modelKey{m.Solver, m.Family}] {
+			if c.WallNanos <= 0 {
+				continue
+			}
+			pf := m.predictF(c.N)
+			weff := c.workers
+			if weff < 1 {
+				weff = 1
+			}
+			if c.shards > 0 && weff > c.shards {
+				weff = c.shards
+			}
+			nodes := roundNonNeg(pf.nodes)
+			if nodes > 0 && int64(weff) > nodes {
+				weff = int(nodes)
+			}
+			elems := pf.nodes + pf.edges
+			rounds := pf.rounds
+			sync := rounds * float64(weff-1)
+			var work float64
+			if pf.hasDeliveries {
+				work = pf.deliveries / float64(weff)
+			} else {
+				work = pf.nodes * rounds
+			}
+			rows = append(rows, [4]float64{elems, rounds, sync, work})
+			ys = append(ys, float64(c.WallNanos))
+		}
+	}
+	if len(rows) < 8 {
+		return
+	}
+	sol, ok := solveNormal4(rows, ys)
+	if !ok {
+		return
+	}
+	for _, v := range sol {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+	}
+	t.Wall = WallModel{
+		BuildNsPerElement: sol[0],
+		RoundNs:           sol[1],
+		SyncNsPerWorker:   sol[2],
+		WordNs:            sol[3],
+		Calibrated:        true,
+	}
+}
+
+// solveNormal4 solves the 4-parameter least squares AᵀA·x = Aᵀy by
+// Gaussian elimination with partial pivoting.
+func solveNormal4(rows [][4]float64, ys []float64) ([4]float64, bool) {
+	var ata [4][4]float64
+	var aty [4]float64
+	for r, row := range rows {
+		y := ys[r]
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				p := row[i] * row[j]
+				ata[i][j] = ata[i][j] + p
+			}
+			q := row[i] * y
+			aty[i] = aty[i] + q
+		}
+	}
+	// Augment and eliminate.
+	var aug [4][5]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			aug[i][j] = ata[i][j]
+		}
+		aug[i][4] = aty[i]
+	}
+	for col := 0; col < 4; col++ {
+		pivot := col
+		for r := col + 1; r < 4; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-12 {
+			return [4]float64{}, false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col] / aug[col][col]
+			for j := col; j < 5; j++ {
+				p := f * aug[col][j]
+				aug[r][j] = aug[r][j] - p
+			}
+		}
+	}
+	var out [4]float64
+	for i := 0; i < 4; i++ {
+		out[i] = aug[i][4] / aug[i][i]
+	}
+	return out, true
+}
