@@ -116,7 +116,11 @@ func printList(w *os.File) {
 
 func printReport(w *os.File, rep *campaign.Report) {
 	for _, sr := range rep.Scenarios {
-		fmt.Fprintf(w, "## %s — Δ=%d h=%d (%d nodes)\n\n", sr.Name, sr.Delta, sr.Height, sr.Nodes)
+		if sr.Plane == campaign.PlaneRelay {
+			fmt.Fprintf(w, "## %s — relay plane, base %d (%d nodes)\n\n", sr.Name, sr.Base, sr.Nodes)
+		} else {
+			fmt.Fprintf(w, "## %s — Δ=%d h=%d (%d nodes)\n\n", sr.Name, sr.Delta, sr.Height, sr.Nodes)
+		}
 		headers := []string{"fault", "seed", "verdict", "latency", "flagged", "expected", "rounds"}
 		rows := make([][]string, len(sr.Cells))
 		for i, c := range sr.Cells {

@@ -142,7 +142,7 @@ func printList(w *os.File) {
 		fmt.Fprintf(w, "  %-18s min %-5d %s\n", f.Name, f.MinSize, f.Description)
 	}
 	fmt.Fprintf(w, "  %-18s min %-5d %s\n", scenario.PaddedFamily, scenario.PaddedMinSize,
-		"level-2 padded hierarchy instances (sizes are base-graph nodes)")
+		"padded hierarchy instances, any Πᵢ level (sizes are base-graph nodes)")
 	fmt.Fprintln(w, "\nsolvers:")
 	for _, s := range scenario.Solvers() {
 		fmt.Fprintf(w, "  %-18s %s\n", s.Name, s.Description)

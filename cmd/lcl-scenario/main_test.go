@@ -101,3 +101,42 @@ func TestWorkersConflictsWithSpecEnginePin(t *testing.T) {
 		t.Fatalf("unexpected error text: %v", err)
 	}
 }
+
+// TestLoudErrorMessages pins the exact text of the CLI's loud-error
+// paths: flag combinations that cannot take effect are rejected with
+// stable, actionable messages — the messages are contract, not
+// incidental wording, because operators and CI logs grep for them.
+func TestLoudErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "autoscale without twin",
+			args: []string{"-builtin", "ci-smoke", "-autoscale"},
+			want: "-autoscale requires -twin (calibrate one with lcl-bench -calibrate)",
+		},
+		{
+			name: "explicit grid workers conflict with spec engine pin",
+			args: []string{"-builtin", "ci-smoke", "-workers", "4"},
+			want: `grid -workers 4 conflicts with scenario "cv-cycles" pinning engine workers 2: exactly one layer may parallelize; pass -workers 1 to honor the spec's engine workers, or drop the scenario's engine pin`,
+		},
+		{
+			name: "shard override with no engine-aware scenario",
+			args: []string{"-builtin", "trees-grids", "-shards", "8"},
+			want: `shard override set but no scenario in "trees-grids" runs on the engine`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, os.Stdout)
+			if err == nil {
+				t.Fatalf("%v: accepted, want %q", tc.args, tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("%v:\n  got  %q\n  want %q", tc.args, err.Error(), tc.want)
+			}
+		})
+	}
+}

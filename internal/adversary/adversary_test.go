@@ -242,3 +242,53 @@ func TestInterceptorSemantics(t *testing.T) {
 		}
 	})
 }
+
+// TestCompileGraph: the graph-generic compile path used by the relay
+// campaign plane. Slot-scoped faults compile against any graph and
+// agree with the gadget compile; node-scoped faults resolve only the
+// seeded target, and gadget-scoped targets fail loudly.
+func TestCompileGraph(t *testing.T) {
+	gd := buildGadget(t)
+	for _, id := range []string{"drop:p20", "drop:round1", "duplicate:p20", "corrupt:bitflip-p10"} {
+		f, ok := ByID(id)
+		if !ok {
+			t.Fatalf("fault %q missing", id)
+		}
+		p, err := f.CompileGraph(gd.G, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if p.Slots() != gd.G.NumPorts() {
+			t.Fatalf("%s: plan covers %d slots, graph has %d ports", id, p.Slots(), gd.G.NumPorts())
+		}
+		// The gadget compile of the same fault is the same plan: the
+		// decision streams cannot depend on which compile built them.
+		gp, err := f.Compile(gd, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 1; round <= 4; round++ {
+			for slot := int32(0); slot < int32(p.Slots()); slot++ {
+				if p.fires(round, slot) != gp.fires(round, slot) {
+					t.Fatalf("%s: fire decision at (%d, %d) differs between compiles", id, round, slot)
+				}
+			}
+		}
+	}
+	seeded, _ := ByID("crash:seeded-late")
+	p, err := seeded.CompileGraph(gd.G, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Node < 0 || int(p.Node) >= gd.NumNodes() {
+		t.Fatalf("seeded target %d outside the graph", p.Node)
+	}
+	center, _ := ByID("crash:center")
+	if _, err := center.CompileGraph(gd.G, 7); err == nil {
+		t.Fatal("gadget-scoped target compiled against a bare graph")
+	}
+	rewire, _ := ByID("rewire:self-loop")
+	if _, err := rewire.CompileGraph(gd.G, 7); err == nil {
+		t.Fatal("structural fault produced a delivery plan")
+	}
+}

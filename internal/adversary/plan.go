@@ -38,16 +38,9 @@ type Plan struct {
 // interceptor consults, and the probability threshold. Rewire faults
 // have no delivery plan — use ApplyStructural.
 func (f Fault) Compile(gd *gadget.Gadget, seed int64) (*Plan, error) {
-	if !f.Delivery() {
-		return nil, fmt.Errorf("adversary: fault %q (%s) has no delivery plan; use ApplyStructural", f.ID, f.Kind)
-	}
-	p := &Plan{
-		Fault:      f,
-		Seed:       seed,
-		Node:       -1,
-		mix:        mixSeed(seed, f.ID),
-		threshold:  probThreshold(f.Prob),
-		slotSender: slotSenders(gd.G),
+	p, err := f.compileDelivery(gd.G, seed)
+	if err != nil {
+		return nil, err
 	}
 	if f.Kind == KindCrash || f.Kind == KindByzantine {
 		switch f.Target {
@@ -62,6 +55,45 @@ func (f Fault) Compile(gd *gadget.Gadget, seed int64) (*Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// CompileGraph resolves a delivery fault against an arbitrary graph —
+// the padded-instance form of Compile, used to inject faults into the
+// payload relay plane, where there is no single gadget whose center or
+// port₁ could anchor a node-scoped fault. Slot-scoped faults (drop,
+// duplicate, corrupt) compile on any graph; node-scoped faults (crash,
+// Byzantine) only with TargetSeeded, which hash-picks the victim from
+// (seed, fault id) exactly as on gadgets.
+func (f Fault) CompileGraph(g *graph.Graph, seed int64) (*Plan, error) {
+	p, err := f.compileDelivery(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind == KindCrash || f.Kind == KindByzantine {
+		if f.Target != TargetSeeded {
+			return nil, fmt.Errorf("adversary: fault %q: target %q is gadget-scoped; CompileGraph supports only %q",
+				f.ID, f.Target, TargetSeeded)
+		}
+		p.Node = graph.NodeID(p.word(saltNode, 0, 0) % uint64(g.NumNodes()))
+	}
+	return p, nil
+}
+
+// compileDelivery builds the target-independent part of a delivery
+// plan: the determinism anchor, the probability threshold, and the
+// slot→sender map (graph-generic — it only reads the CSR route table).
+func (f Fault) compileDelivery(g *graph.Graph, seed int64) (*Plan, error) {
+	if !f.Delivery() {
+		return nil, fmt.Errorf("adversary: fault %q (%s) has no delivery plan; use ApplyStructural", f.ID, f.Kind)
+	}
+	return &Plan{
+		Fault:      f,
+		Seed:       seed,
+		Node:       -1,
+		mix:        mixSeed(seed, f.ID),
+		threshold:  probThreshold(f.Prob),
+		slotSender: slotSenders(g),
+	}, nil
 }
 
 // Slots returns the size of the delivery-slot space the plan covers.

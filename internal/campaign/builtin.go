@@ -16,6 +16,17 @@ var builtins = []Spec{
 				Seeds:  []int64{1, 2},
 				Engine: EngineParams{Workers: 2, Shards: 8},
 			},
+			// The relay plane: drop and corrupt faults on the padded
+			// pipeline's knowledge-word payloads. The gate asserts the
+			// same zero-silent-corruption invariant as the Ψ plane.
+			{
+				Name:   "relay-b8",
+				Plane:  PlaneRelay,
+				Base:   8,
+				Seeds:  []int64{1, 2},
+				Faults: []string{"drop:p20", "drop:round1", "corrupt:bitflip-p10"},
+				Engine: EngineParams{Workers: 2, Shards: 8},
+			},
 		},
 	},
 	{
@@ -33,6 +44,22 @@ var builtins = []Spec{
 				Delta:  4,
 				Height: 4,
 				Seeds:  []int64{1, 2},
+				Engine: EngineParams{Workers: 4, Shards: 16},
+			},
+			{
+				Name:   "relay-b8",
+				Plane:  PlaneRelay,
+				Base:   8,
+				Seeds:  []int64{1, 2, 3},
+				Faults: []string{"drop:p20", "drop:round1", "corrupt:bitflip-p10"},
+				Engine: EngineParams{Workers: 2, Shards: 8},
+			},
+			{
+				Name:   "relay-b12",
+				Plane:  PlaneRelay,
+				Base:   12,
+				Seeds:  []int64{1, 2},
+				Faults: []string{"drop:p20", "corrupt:bitflip-p10"},
 				Engine: EngineParams{Workers: 4, Shards: 16},
 			},
 		},

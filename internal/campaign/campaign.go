@@ -53,10 +53,32 @@ func Run(spec *Spec, opts RunOptions) (*Report, error) {
 }
 
 func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
+	if sc.Plane == PlaneRelay {
+		return runRelayScenario(sc, opts)
+	}
 	gd, err := gadget.BuildUniform(sc.Delta, sc.Height)
 	if err != nil {
 		return nil, fmt.Errorf("campaign scenario %q: %w", sc.Name, err)
 	}
+	cells, err := runCellGrid(sc, opts, func(f adversary.Fault, seed int64, eng engine.Options) (CellResult, error) {
+		return runCell(gd, eng, f, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Name:   sc.Name,
+		Delta:  sc.Delta,
+		Height: sc.Height,
+		Nodes:  gd.NumNodes(),
+		Engine: sc.Engine,
+		Cells:  cells,
+	}, nil
+}
+
+// engineOptions resolves the scenario's pinned engine geometry against
+// the run-level overrides.
+func engineOptions(sc *Scenario, opts RunOptions) engine.Options {
 	eng := engine.Options{Workers: sc.Engine.Workers, Shards: sc.Engine.Shards}
 	if opts.EngineWorkers > 0 {
 		eng.Workers = opts.EngineWorkers
@@ -64,7 +86,16 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 	if opts.EngineShards > 0 {
 		eng.Shards = opts.EngineShards
 	}
+	return eng
+}
 
+// runCellGrid sweeps the scenario's fault × seed grid through runOne on
+// a bounded worker pool. Cells land in deterministic fault-major,
+// seed-minor order regardless of the pool width.
+func runCellGrid(sc *Scenario, opts RunOptions,
+	runOne func(f adversary.Fault, seed int64, eng engine.Options) (CellResult, error)) ([]CellResult, error) {
+
+	eng := engineOptions(sc, opts)
 	faults := sc.faults()
 	type cellJob struct {
 		fault adversary.Fault
@@ -93,7 +124,7 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				cells[i], errs[i] = runCell(gd, eng, jobs[i].fault, jobs[i].seed)
+				cells[i], errs[i] = runOne(jobs[i].fault, jobs[i].seed, eng)
 			}
 		}()
 	}
@@ -108,14 +139,7 @@ func runScenario(sc *Scenario, opts RunOptions) (*ScenarioResult, error) {
 				sc.Name, jobs[i].fault.ID, jobs[i].seed, err)
 		}
 	}
-	return &ScenarioResult{
-		Name:   sc.Name,
-		Delta:  sc.Delta,
-		Height: sc.Height,
-		Nodes:  gd.NumNodes(),
-		Engine: sc.Engine,
-		Cells:  cells,
-	}, nil
+	return cells, nil
 }
 
 // runCell executes one (fault, seed) cell and applies the verdict

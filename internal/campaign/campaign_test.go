@@ -21,7 +21,14 @@ func TestCIBuiltinVerdicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCells := len(adversary.Standard()) * 2
+	wantCells := 0
+	for _, sc := range spec.Scenarios {
+		nf := len(sc.Faults)
+		if nf == 0 {
+			nf = len(adversary.Standard())
+		}
+		wantCells += nf * len(sc.Seeds)
+	}
 	if rep.Totals.Cells != wantCells {
 		t.Fatalf("totals cells %d, want %d", rep.Totals.Cells, wantCells)
 	}
@@ -97,6 +104,117 @@ func TestReportByteIdentity(t *testing.T) {
 		if !bytes.Equal(data, want) {
 			t.Fatalf("report bytes diverged at %+v", opts)
 		}
+	}
+}
+
+// TestRelayPlaneVerdicts: the satellite invariant for faults on the
+// payload relay plane — every drop/corrupt cell lands in a checkable
+// class (detected or degraded-but-valid, never silent-corruption), and
+// the whole report is byte-identical across grid widths and engine
+// geometries, faults included.
+func TestRelayPlaneVerdicts(t *testing.T) {
+	spec := &Spec{
+		Name: "relay-verdicts",
+		Scenarios: []Scenario{{
+			Name:   "relay-b8",
+			Plane:  PlaneRelay,
+			Base:   8,
+			Seeds:  []int64{1, 2, 3},
+			Faults: []string{"drop:p20", "drop:round1", "corrupt:bitflip-p10"},
+		}},
+	}
+	var want []byte
+	var rep *Report
+	for _, opts := range []RunOptions{
+		{GridWorkers: 1, EngineWorkers: 1, EngineShards: 1},
+		{GridWorkers: 2, EngineWorkers: 2, EngineShards: 8},
+		{GridWorkers: 4, EngineWorkers: 4, EngineShards: 16},
+	} {
+		r, err := Run(spec, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		data, err := r.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want, rep = data, r
+			continue
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("relay-plane report bytes diverged at %+v", opts)
+		}
+	}
+	if rep.Totals.Cells != 9 {
+		t.Fatalf("cells %d, want 9", rep.Totals.Cells)
+	}
+	if rep.Totals.SilentCorruption != 0 {
+		for _, sr := range rep.Scenarios {
+			for _, c := range sr.Cells {
+				if c.Verdict == VerdictSilent {
+					t.Errorf("silent corruption on the relay plane: %s seed %d (checksum %s)",
+						c.Fault, c.Seed, c.Checksum)
+				}
+			}
+		}
+		t.Fatalf("%d silent-corruption verdicts", rep.Totals.SilentCorruption)
+	}
+	if rep.Totals.Detected+rep.Totals.DegradedButValid != rep.Totals.Cells {
+		t.Fatalf("verdicts don't partition the grid: %+v", rep.Totals)
+	}
+	sr := rep.Scenarios[0]
+	if sr.Plane != PlaneRelay || sr.Base != 8 || sr.Delta != 0 || sr.Height != 0 {
+		t.Fatalf("scenario result identity wrong: %+v", sr)
+	}
+	// Dropping the entire first delivery phase must be absorbed: the
+	// flood re-delivers every word, so the output is byte-identical to
+	// the fault-free reference for every seed.
+	for _, c := range sr.Cells {
+		if c.Class != classDelivery {
+			t.Errorf("%s seed %d: class %q, want %q", c.Fault, c.Seed, c.Class, classDelivery)
+		}
+		if c.LatencyRounds != -1 {
+			t.Errorf("%s seed %d: latency %d, want -1 (no Ψ machine on this plane)", c.Fault, c.Seed, c.LatencyRounds)
+		}
+		if c.Fault == "drop:round1" && c.Verdict != VerdictDegraded {
+			t.Errorf("drop:round1 seed %d: verdict %s, want %s", c.Seed, c.Verdict, VerdictDegraded)
+		}
+	}
+}
+
+// TestRelayPlaneSpecValidation pins the relay-plane authoring errors.
+func TestRelayPlaneSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"gadget-knobs", `{"name":"x","scenarios":[{"name":"a","plane":"relay","delta":3,"base":8,"seeds":[1],"faults":["drop:p20"]}]}`,
+			`campaign scenario "a": delta/height are gadget knobs; size relay-plane instances with base`},
+		{"base-too-small", `{"name":"x","scenarios":[{"name":"a","plane":"relay","base":2,"seeds":[1],"faults":["drop:p20"]}]}`,
+			`campaign scenario "a": base 2 < 4 (core.MinBaseNodes)`},
+		{"no-faults", `{"name":"x","scenarios":[{"name":"a","plane":"relay","base":8,"seeds":[1]}]}`,
+			`campaign scenario "a": relay-plane scenarios must name their faults (structural rewires do not apply)`},
+		{"rewire-on-relay", `{"name":"x","scenarios":[{"name":"a","plane":"relay","base":8,"seeds":[1],"faults":["rewire:self-loop"]}]}`,
+			`campaign scenario "a": fault "rewire:self-loop" (rewire) is not a relay-plane fault: the relay plane supports drop and corrupt kinds`},
+		{"duplicate-on-relay", `{"name":"x","scenarios":[{"name":"a","plane":"relay","base":8,"seeds":[1],"faults":["duplicate:p20"]}]}`,
+			`campaign scenario "a": fault "duplicate:p20" (duplicate) is not a relay-plane fault: the relay plane supports drop and corrupt kinds`},
+		{"base-on-psi", `{"name":"x","scenarios":[{"name":"a","delta":3,"height":3,"base":8,"seeds":[1]}]}`,
+			`campaign scenario "a": base is a relay-plane knob; size gadgets with delta/height`},
+		{"unknown-plane", `{"name":"x","scenarios":[{"name":"a","plane":"warp","base":8,"seeds":[1]}]}`,
+			`campaign scenario "a": unknown plane "warp" (known: psi, relay)`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("spec accepted")
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error:\n  got  %q\n  want %q", err, tc.want)
+			}
+		})
 	}
 }
 

@@ -61,11 +61,16 @@ type CellResult struct {
 }
 
 // ScenarioResult is one scenario's completed fault × seed grid, cells
-// in fault-major, seed-minor order.
+// in fault-major, seed-minor order. Plane and Base are additive fields
+// (relay-plane scenarios only): SchemaVersion stays v1.
 type ScenarioResult struct {
-	Name   string       `json:"name"`
-	Delta  int          `json:"delta"`
-	Height int          `json:"height"`
+	Name string `json:"name"`
+	// Plane is the faulted message layer ("" means the Ψ plane).
+	Plane  string `json:"plane,omitempty"`
+	Delta  int    `json:"delta,omitempty"`
+	Height int    `json:"height,omitempty"`
+	// Base is the relay-plane padded instance's base-graph node count.
+	Base   int          `json:"base,omitempty"`
 	Nodes  int          `json:"nodes"`
 	Engine EngineParams `json:"engine,omitzero"`
 	Cells  []CellResult `json:"cells"`

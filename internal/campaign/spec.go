@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"locallab/internal/adversary"
+	"locallab/internal/core"
 )
 
 // EngineParams are the engine knobs a campaign scenario may pin. They
@@ -48,18 +49,40 @@ type EngineParams struct {
 	Shards int `json:"shards,omitempty"`
 }
 
-// Scenario is one campaign axis: a uniform gadget instance
-// (delta, height) swept over faults × seeds.
+// Campaign planes: the message layer the delivery faults inject into.
+const (
+	// PlanePsi (the default, spelled "" in specs) runs the Ψ verifier
+	// machines on a uniform gadget instance and faults their predicate
+	// exchange.
+	PlanePsi = "psi"
+	// PlaneRelay runs the full Lemma-4 padded pipeline on an instance
+	// graph and faults the payload relay plane — the knowledge-word
+	// flood that carries the inner algorithm (and, in flattened towers,
+	// the recursion itself).
+	PlaneRelay = "relay"
+)
+
+// Scenario is one campaign axis: an instance swept over faults × seeds.
+// On the Ψ plane the instance is a uniform gadget (delta, height); on
+// the relay plane it is a padded Π₂ instance sized by base.
 type Scenario struct {
 	Name string `json:"name"`
+	// Plane selects the faulted message layer: "" or "psi" for the Ψ
+	// verifier exchange, "relay" for the padded payload relay.
+	Plane string `json:"plane,omitempty"`
 	// Delta and Height shape the uniform gadget (gadget.BuildUniform).
-	Delta  int `json:"delta"`
-	Height int `json:"height"`
+	// Ψ plane only.
+	Delta  int `json:"delta,omitempty"`
+	Height int `json:"height,omitempty"`
+	// Base is the padded instance's base-graph node count
+	// (core.BuildInstance). Relay plane only.
+	Base int `json:"base,omitempty"`
 	// Seeds drive fault-site selection and fault randomness; each
 	// (fault, seed) pair is one cell.
 	Seeds []int64 `json:"seeds"`
 	// Faults lists adversary fault IDs; empty means the full standard
-	// registry in canonical order.
+	// registry in canonical order (Ψ plane only — relay-plane scenarios
+	// must name their faults, and only drop and corrupt kinds apply).
 	Faults []string `json:"faults,omitempty"`
 	// Engine pins the engine geometry for the scenario's runs.
 	Engine EngineParams `json:"engine,omitzero"`
@@ -128,11 +151,29 @@ func (s *Spec) Validate() error {
 
 func (sc *Scenario) validate() error {
 	subject := fmt.Sprintf("campaign scenario %q", sc.Name)
-	if sc.Delta < 2 {
-		return fmt.Errorf("%s: delta %d < 2", subject, sc.Delta)
-	}
-	if sc.Height < 2 {
-		return fmt.Errorf("%s: height %d < 2", subject, sc.Height)
+	switch sc.Plane {
+	case "", PlanePsi:
+		if sc.Base != 0 {
+			return fmt.Errorf("%s: base is a relay-plane knob; size gadgets with delta/height", subject)
+		}
+		if sc.Delta < 2 {
+			return fmt.Errorf("%s: delta %d < 2", subject, sc.Delta)
+		}
+		if sc.Height < 2 {
+			return fmt.Errorf("%s: height %d < 2", subject, sc.Height)
+		}
+	case PlaneRelay:
+		if sc.Delta != 0 || sc.Height != 0 {
+			return fmt.Errorf("%s: delta/height are gadget knobs; size relay-plane instances with base", subject)
+		}
+		if sc.Base < core.MinBaseNodes {
+			return fmt.Errorf("%s: base %d < %d (core.MinBaseNodes)", subject, sc.Base, core.MinBaseNodes)
+		}
+		if len(sc.Faults) == 0 {
+			return fmt.Errorf("%s: relay-plane scenarios must name their faults (structural rewires do not apply)", subject)
+		}
+	default:
+		return fmt.Errorf("%s: unknown plane %q (known: %s, %s)", subject, sc.Plane, PlanePsi, PlaneRelay)
 	}
 	if len(sc.Seeds) == 0 {
 		return fmt.Errorf("%s: no seeds", subject)
@@ -146,7 +187,8 @@ func (sc *Scenario) validate() error {
 	}
 	faultSeen := map[string]bool{}
 	for _, id := range sc.Faults {
-		if _, ok := adversary.ByID(id); !ok {
+		f, ok := adversary.ByID(id)
+		if !ok {
 			return fmt.Errorf("%s: unknown fault %q (known: %s)",
 				subject, id, strings.Join(adversary.IDs(), ", "))
 		}
@@ -154,6 +196,10 @@ func (sc *Scenario) validate() error {
 			return fmt.Errorf("%s: duplicate fault %q", subject, id)
 		}
 		faultSeen[id] = true
+		if sc.Plane == PlaneRelay && f.Kind != adversary.KindDrop && f.Kind != adversary.KindCorrupt {
+			return fmt.Errorf("%s: fault %q (%s) is not a relay-plane fault: the relay plane supports drop and corrupt kinds",
+				subject, id, f.Kind)
+		}
 	}
 	if sc.Engine.Workers < 0 || sc.Engine.Shards < 0 {
 		return fmt.Errorf("%s: negative engine parameters", subject)

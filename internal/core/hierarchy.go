@@ -67,9 +67,13 @@ func NewLevel(i int) (*Level, error) {
 // with the inner algorithm running as native machines over the payload
 // relay plane. Only padded levels (i >= 2) run on the engine; level 1 is
 // the sinkless base problem whose message solver lives in
-// internal/sinkless. For levels above 2 the top padding layer executes
-// on the engine while the inner padded levels recurse sequentially
-// inside the gather machines' decision functions (see ROADMAP).
+// internal/sinkless. Levels above 2 flatten the whole Π-tower onto the
+// engine: every padding layer of the recursion becomes its own engine
+// run — the gather machines' decision functions open nested sessions on
+// their reconstructed components (see engineTower) — so no level of the
+// padding recursion executes as a centralized sequential solve. Only the
+// level-1 leaf decision (the sinkless solver on the fully gathered
+// component) remains a plain function, the LOCAL model's base case.
 func (l *Level) EngineSolvers(eng *engine.Engine) (det, rnd *EnginePaddedSolver, err error) {
 	ps, ok := l.Det.(*PaddedSolver)
 	if !ok {
@@ -79,7 +83,25 @@ func (l *Level) EngineSolvers(eng *engine.Engine) (det, rnd *EnginePaddedSolver,
 	if !ok {
 		return nil, nil, fmt.Errorf("level %d has no padded solver to run on the engine", l.Index)
 	}
-	return NewEnginePaddedSolver(ps.Inner, ps.Delta, eng), NewEnginePaddedSolver(pr.Inner, pr.Delta, eng), nil
+	return engineTower(ps, eng), engineTower(pr, eng), nil
+}
+
+// engineTower rebuilds a sequential PaddedSolver tower as a tower of
+// EnginePaddedSolvers sharing one engine: each padding level's inner
+// solver is itself engine-backed, so a depth-k solve runs k nested
+// engine layers — the outer one on the physical instance, each inner one
+// on the virtual graphs its gather machines reconstruct. Labelings stay
+// byte-identical to the sequential tower because EnginePaddedSolver is
+// label-equivalent to PaddedSolver on every graph and the padded solvers
+// are component-decomposable (identifier-pinned RNG streams, KnownSub's
+// preserved identifiers/port order), which is exactly the contract
+// GatherMachine.Finish relies on.
+func engineTower(ps *PaddedSolver, eng *engine.Engine) *EnginePaddedSolver {
+	inner := ps.Inner
+	if ip, ok := inner.(*PaddedSolver); ok {
+		inner = engineTower(ip, eng)
+	}
+	return NewEnginePaddedSolver(inner, ps.Delta, eng)
 }
 
 // Verify validates an output of this level's problem, using the global

@@ -236,12 +236,25 @@ func (m *natMachine) Round(recv, send []natMsg) bool {
 	m.round++
 	// Merge incoming records. A record only arrives when its value
 	// differs from what this node holds (senders forward on change), but
-	// the guard keeps re-deliveries idempotent.
+	// the guard keeps re-deliveries idempotent. Records are validated
+	// before use: a malformed count is clamped to the record array and a
+	// slot outside this node's table is dropped — legitimate transport
+	// never produces either (relabel always targets a live slot of the
+	// receiver), so the checks only matter under fault injection, where
+	// corrupt deliveries must degrade, never panic (FuzzNativeSlotRewrite
+	// pins this).
 	if m.round > 1 {
 		for p := range recv {
 			in := &recv[p]
-			for i := 0; i < int(in.n); i++ {
+			nrec := int(in.n)
+			if nrec > maxNatSlots {
+				nrec = maxNatSlots
+			}
+			for i := 0; i < nrec; i++ {
 				s := in.slot[i]
+				if int32(s) >= m.nslots {
+					continue
+				}
 				if m.vals[s] != in.val[i] {
 					m.vals[s] = in.val[i]
 					m.fresh[s] = true

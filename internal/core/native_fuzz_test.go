@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"locallab/internal/engine"
+	"locallab/internal/graph"
+	"locallab/internal/lcl"
+)
+
+// FuzzNativeSlotRewrite fuzzes the native relay plane's port-slot
+// rewrite path: a natMachine fed malformed transport records — record
+// counts beyond the fixed arrays, slot identifiers outside the node's
+// slot table, arbitrary payload words — must merge or drop them, never
+// panic. Legitimate transport cannot produce such records (relabel
+// always targets a live slot of the receiver), so this is exactly the
+// surface a delivery adversary corrupting relay words reaches; the
+// merge-loop guards in natMachine.Round are what it pins.
+func FuzzNativeSlotRewrite(f *testing.F) {
+	inst, err := BuildInstance(2, InstanceOptions{BaseNodes: 8, Seed: 1, Balanced: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	plan := buildPlan(f, inst.G, inst.In)
+	table := NewFactTable(plan.vg)
+	scope := GadScope(inst.G, inst.In)
+	machines, _, _, err := buildNativeMachines(inst.G, scope, plan.vg, table,
+		func(graph.NodeID) PortMachine { return &sinklessNative{} }, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Seeds: a well-formed single record, an out-of-table slot, a record
+	// count past the fixed arrays, all-ones payloads.
+	f.Add(uint16(0), uint8(1), uint8(1), uint8(3), uint64(42))
+	f.Add(uint16(1), uint8(1), uint8(maxNatSlots), uint8(0), uint64(1))
+	f.Add(uint16(2), uint8(255), uint8(7), uint8(200), ^uint64(0))
+	f.Add(uint16(3), uint8(maxNatSlots+1), uint8(0), uint8(255), uint64(1)<<63)
+
+	f.Fuzz(func(t *testing.T, sel uint16, n, slot0, slot1 uint8, val uint64) {
+		v := graph.NodeID(int(sel) % len(machines))
+		m := &machines[v]
+		m.Init(engine.NodeInfo{})
+		deg := inst.G.Degree(v)
+		recv := make([]natMsg, deg)
+		send := make([]natMsg, deg)
+		// Round 1 ignores recv; the merge path runs from round 2 on.
+		m.Round(recv, send)
+		for p := range recv {
+			recv[p].n = n
+			for i := range recv[p].slot {
+				recv[p].slot[i] = slot0 + uint8(i)*slot1
+				recv[p].val[i] = val + uint64(i)
+			}
+		}
+		m.Round(recv, send)
+		// The machine must stay drivable after absorbing the malformed
+		// records: one more clean round, then its outputs still decode.
+		for p := range recv {
+			recv[p] = natMsg{}
+		}
+		m.Round(recv, send)
+		if m.host {
+			out := lcl.NewLabeling(plan.vg.H)
+			if err := m.pm.Finish(out); err != nil {
+				t.Fatalf("hosted machine unfinishable after malformed records: %v", err)
+			}
+		}
+	})
+}

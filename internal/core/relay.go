@@ -177,9 +177,14 @@ type RelayRun struct {
 // payloads flood-forwarded through gadget interiors and across port
 // edges under the d+1-round super-round schedule, outputs decoded from
 // the stabilized knowledge. It requires at least one valid gadget.
+//
+// A non-nil itc (an adversary delivery-fault interceptor) is installed
+// on the session; the round cap then doubles as the loud failure mode —
+// a fault regime that starves the flood of its fixpoint surfaces as
+// engine.ErrRoundLimit, never as a hang.
 func RunRelay(eng *engine.Engine, g *graph.Graph, scope func(graph.EdgeID) bool,
 	vg *VirtualGraph, table *FactTable, mk func(vi graph.NodeID) VirtualMachine,
-	dilation int, compEcc []int, seed int64) (*RelayRun, error) {
+	dilation int, compEcc []int, seed int64, itc engine.Interceptor[relayMsg]) (*RelayRun, error) {
 
 	nv := vg.NumVirtualNodes()
 	if nv == 0 {
@@ -195,7 +200,19 @@ func RunRelay(eng *engine.Engine, g *graph.Graph, scope func(graph.EdgeID) bool,
 	// Dissemination needs at most ~2 super-rounds per virtual hop plus
 	// one super-round of stabilization detection.
 	maxRounds := int(superLen) * (2*nv + 8)
-	stats, err := local.RunStatsTyped(eng, g, typed, seed, false, maxRounds)
+	var stats engine.Stats
+	var err error
+	if itc == nil {
+		stats, err = local.RunStatsTyped(eng, g, typed, seed, false, maxRounds)
+	} else {
+		sess, serr := engine.NewCore[relayMsg](eng.Options()).NewSession(g, typed)
+		if serr != nil {
+			return nil, fmt.Errorf("run relay: %w", serr)
+		}
+		defer sess.Close()
+		sess.SetInterceptor(itc)
+		stats, err = sess.Run(seed, false, maxRounds)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("run relay: %w", err)
 	}

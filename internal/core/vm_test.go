@@ -90,7 +90,7 @@ func TestRelayMatchesVirtualRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	relay, err := RunRelay(engine.New(engine.Options{Workers: 2, Shards: 8}), inst.G, scope,
-		plan.vg, table, GatherFactory(inner), dilation, nil, 2)
+		plan.vg, table, GatherFactory(inner), dilation, nil, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestRelayDeterministicAcrossGeometries(t *testing.T) {
 	var first *RelayRun
 	for _, opts := range paddedEngineGrid {
 		run, err := RunRelay(engine.New(opts), inst.G, scope, plan.vg, table,
-			GatherFactory(sinkless.NewRandSolver()), dilation, nil, 5)
+			GatherFactory(sinkless.NewRandSolver()), dilation, nil, 5, nil)
 		if err != nil {
 			t.Fatalf("%+v: %v", opts, err)
 		}

@@ -60,6 +60,17 @@ func Builtins() []*Spec {
 					Engine: EngineParams{Workers: 2, Shards: 8}},
 				{Name: "padded-native-oracle", Family: PaddedFamily, Solver: "pi2-rand-native-oracle",
 					Sizes: []int{12}, Seeds: []int64{1}},
+				// tower-pi3 is the depth-3 flattened tower in every CI
+				// report: a Π₃ cell whose padding recursion runs as nested
+				// engine sessions all the way down. tower-pi3-oracle is the
+				// sequential tower reference on the same cell; its checksum
+				// must equal tower-pi3's, keeping the flattened-tower ≡
+				// oracle parity visible per commit.
+				{Name: "tower-pi3", Family: PaddedFamily, Solver: "pi3-det",
+					Sizes: []int{4}, Seeds: []int64{1},
+					Engine: EngineParams{Workers: 2, Shards: 8}},
+				{Name: "tower-pi3-oracle", Family: PaddedFamily, Solver: "pi3-det-oracle",
+					Sizes: []int{4}, Seeds: []int64{1}},
 			},
 		},
 		{
@@ -170,6 +181,17 @@ func Builtins() []*Spec {
 				{Name: "pi2-rand-native-nightly", Family: PaddedFamily, Solver: "pi2-rand-native",
 					Sizes: full.PaddedBases, Seeds: []int64{1, 2},
 					Engine: EngineParams{Workers: 2, Shards: 32}},
+				// The tower-depth trajectory: the flattened Π₃ tower
+				// (tower_depth 2, nested engine sessions per padding layer)
+				// over growing bases, recorded alongside the depth-1 rows
+				// above so the nightly ledger tracks rounds and relay words
+				// against depth as well as size. Balanced Π₃ instances grow
+				// like base⁴, so the bases stay small.
+				{Name: "pi3-det-nightly", Family: PaddedFamily, Solver: "pi3-det",
+					Sizes: []int{4, 8, 12, 16}, Seeds: []int64{1, 2},
+					Engine: EngineParams{Workers: 2, Shards: 32}},
+				{Name: "pi3-det-oracle-nightly", Family: PaddedFamily, Solver: "pi3-det-oracle",
+					Sizes: []int{4, 8, 12, 16}, Seeds: []int64{1, 2}},
 			},
 		},
 		{

@@ -122,6 +122,7 @@ func newCellResult(n int, seed int64, o *solver.Outcome) CellResult {
 		Rounds:     o.Rounds,
 		Messages:   o.Stats.Deliveries,
 		RelayWords: o.RelayWords,
+		TowerDepth: o.TowerDepth,
 		Checksum:   fmt.Sprintf("%016x", o.Checksum),
 	}
 }

@@ -36,6 +36,13 @@ type CellResult struct {
 	// non-padded and oracle scenarios. Additive field: SchemaVersion
 	// stays v1.
 	RelayWords int64 `json:"relay_words,omitempty"`
+	// TowerDepth is the padded scenarios' hierarchy depth — the number of
+	// padding layers of the Πᵢ tower (1 for Π₂, 2 for Π₃; omitted for
+	// non-padded scenarios). It is part of the cell's identity: two cells
+	// with equal (family, solver, n, seed) but different depth are
+	// different workloads, and the nightly tower trajectory plots rounds
+	// and relay words against it. Additive field: SchemaVersion stays v1.
+	TowerDepth int `json:"tower_depth,omitempty"`
 	// Checksum is the FNV-1a 64 fingerprint of the verified output
 	// labeling, in %016x form.
 	Checksum string `json:"checksum"`

@@ -1,0 +1,46 @@
+package sinkless
+
+import "testing"
+
+// FuzzUnpackWire fuzzes the native relay plane's wire layer: UnpackWire
+// must decode every 64-bit payload word — including words an adversary
+// corrupted in flight — without panicking, masking excess bits exactly
+// as its contract states, and PackWire∘UnpackWire must be the identity
+// on the payload bits. The seed corpus packs the protocol states the
+// sinkless port machine actually sends (every flag combination, the
+// out-degree range) plus junk words with high bits set, mirroring
+// FuzzCellRequestValidate's malformed-input discipline.
+func FuzzUnpackWire(f *testing.F) {
+	// Every wire the protocol can produce: claim/sink/request/grant flag
+	// combinations across the representable out-degrees.
+	for deg := 0; deg <= 15; deg += 5 {
+		for bits := 0; bits < 16; bits++ {
+			f.Add(PackWire(Wire{
+				Claim:   bits&1 != 0,
+				OutDeg:  deg,
+				IsSink:  bits&2 != 0,
+				Request: bits&4 != 0,
+				Grant:   bits&8 != 0,
+			}), int64(deg*100+bits))
+		}
+	}
+	// Malformed payloads: bits beyond WireBits set, all-ones, sign
+	// patterns.
+	f.Add(uint64(1)<<63, int64(-1))
+	f.Add(^uint64(0), int64(1))
+	f.Add(uint64(0xdeadbeefcafe), int64(1<<40))
+	f.Fuzz(func(t *testing.T, v uint64, senderID int64) {
+		w := UnpackWire(v, senderID)
+		if w.ID != senderID {
+			t.Fatalf("UnpackWire(%#x, %d): identifier %d not restored from the neighbor table", v, senderID, w.ID)
+		}
+		if w.OutDeg < 0 || w.OutDeg > 15 {
+			t.Fatalf("UnpackWire(%#x): out-degree %d outside the 4-bit field", v, w.OutDeg)
+		}
+		// Re-packing must reproduce exactly the payload bits, masking
+		// everything beyond WireBits: decode accepts every word.
+		if got, want := PackWire(w), v&((1<<WireBits)-1); got != want {
+			t.Fatalf("PackWire(UnpackWire(%#x)) = %#x, want the masked payload %#x", v, got, want)
+		}
+	})
+}

@@ -87,9 +87,16 @@ type Outcome struct {
 	Stats engine.Stats
 	// RelayWords is the padded entries' relay-plane bandwidth: payload
 	// words handed to the transport over the relay session, counted at
-	// the senders (zero for non-padded and oracle entries). Deterministic
-	// across worker/shard settings.
+	// the senders, summed over every nesting level of a flattened tower
+	// (zero for non-padded and oracle entries). Deterministic across
+	// worker/shard settings.
 	RelayWords int64
+	// TowerDepth is the padded entries' hierarchy depth: the number of
+	// padding layers of the Πᵢ tower (level−1, so 1 for Π₂, 2 for Π₃;
+	// zero for non-padded entries). Engine entries run one engine layer
+	// per padding level; oracle entries report the same depth so parity
+	// cells stay byte-identical.
+	TowerDepth int
 	// Checksum fingerprints the verified output (FNV-1a 64).
 	Checksum uint64
 	// G, In, Out, Cost expose the instance and solution for callers that
@@ -260,13 +267,13 @@ func lclPrepare(req Request, s lcl.Solver, p lcl.Problem, stats func() engine.St
 // paddedSolve is a bound SolveDetailed of one padded solver.
 type paddedSolve func(g *graph.Graph, in *lcl.Labeling, seed int64) (*core.Detail, error)
 
-// paddedPrepare builds a balanced level-2 instance once — BuildInstance
+// paddedPrepare builds a balanced level instance once — BuildInstance
 // is by far the dominant construction cost of padded cells — and returns
 // a runner executing the given padded solve on it. engineDetail selects
 // whether the Detail's engine profile (Stats, RelayWords) is recorded:
 // true for the engine-backed entries, false for the sequential oracles.
-func paddedPrepare(req Request, mkSolve func(lvl *core.Level, eng *engine.Engine) (paddedSolve, error), engineDetail bool) (Prepared, error) {
-	lvl, err := core.NewLevel(2)
+func paddedPrepare(level int, req Request, mkSolve func(lvl *core.Level, eng *engine.Engine) (paddedSolve, error), engineDetail bool) (Prepared, error) {
+	lvl, err := core.NewLevel(level)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +281,7 @@ func paddedPrepare(req Request, mkSolve func(lvl *core.Level, eng *engine.Engine
 	if err != nil {
 		return nil, err
 	}
-	inst, err := core.BuildInstance(2, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
+	inst, err := core.BuildInstance(level, core.InstanceOptions{BaseNodes: req.N, Seed: req.Seed, Balanced: true})
 	if err != nil {
 		return nil, err
 	}
@@ -291,20 +298,21 @@ func paddedPrepare(req Request, mkSolve func(lvl *core.Level, eng *engine.Engine
 			return nil, fmt.Errorf("verify: %w", err)
 		}
 		o := &Outcome{
-			Nodes:    inst.G.NumNodes(),
-			Edges:    inst.G.NumEdges(),
-			Rounds:   d.Cost.Rounds(),
-			Checksum: LabelingChecksum(d.Out),
-			G:        inst.G,
-			In:       in,
-			Out:      d.Out,
-			Cost:     d.Cost,
-			Padded:   d,
-			Instance: inst,
+			Nodes:      inst.G.NumNodes(),
+			Edges:      inst.G.NumEdges(),
+			Rounds:     d.Cost.Rounds(),
+			Checksum:   LabelingChecksum(d.Out),
+			TowerDepth: level - 1,
+			G:          inst.G,
+			In:         in,
+			Out:        d.Out,
+			Cost:       d.Cost,
+			Padded:     d,
+			Instance:   inst,
 		}
 		if engineDetail {
 			o.Stats = engine.Stats{Rounds: d.Engine.Rounds(), Deliveries: d.Engine.Deliveries()}
-			o.RelayWords = d.Engine.RelayWords
+			o.RelayWords = d.Engine.TotalRelayWords()
 		}
 		return o, nil
 	}
@@ -312,16 +320,16 @@ func paddedPrepare(req Request, mkSolve func(lvl *core.Level, eng *engine.Engine
 }
 
 // paddedOraclePrepare is the sequential Lemma-4 oracle (centralized Ψ
-// walk + one centralized inner Solve call): the reference the
-// native-machine entries are differential-tested against. Oracle entries
-// are not engine-aware; their checksums must equal the corresponding
-// pi2-* entries' cell for cell.
-func paddedOraclePrepare(pick func(lvl *core.Level) lcl.Solver) func(Request) (Prepared, error) {
+// walk + one centralized inner Solve call per padding level): the
+// reference the engine entries are differential-tested against. Oracle
+// entries are not engine-aware; their checksums must equal the
+// corresponding engine entries' cell for cell.
+func paddedOraclePrepare(level int, pick func(lvl *core.Level) lcl.Solver) func(Request) (Prepared, error) {
 	return func(req Request) (Prepared, error) {
-		return paddedPrepare(req, func(lvl *core.Level, _ *engine.Engine) (paddedSolve, error) {
+		return paddedPrepare(level, req, func(lvl *core.Level, _ *engine.Engine) (paddedSolve, error) {
 			s, ok := pick(lvl).(*core.PaddedSolver)
 			if !ok {
-				return nil, fmt.Errorf("level 2 has no sequential padded solver")
+				return nil, fmt.Errorf("level %d has no sequential padded solver", level)
 			}
 			return s.SolveDetailed, nil
 		}, false)
@@ -331,10 +339,13 @@ func paddedOraclePrepare(pick func(lvl *core.Level) lcl.Solver) func(Request) (P
 // paddedEnginePrepare runs the engine-backed hierarchy solver: the whole
 // Lemma-4 pipeline — Ψ fixpoint machines and the inner algorithm as
 // native machines over the payload relay plane — executes on the sharded
-// engine.
-func paddedEnginePrepare(pick func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver) func(Request) (Prepared, error) {
+// engine. Levels above 2 flatten the Π-tower: every padding layer is its
+// own engine run, nested sessions all the way down (core.Level.
+// EngineSolvers), so the recursion never falls back to a centralized
+// sequential solve.
+func paddedEnginePrepare(level int, pick func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver) func(Request) (Prepared, error) {
 	return func(req Request) (Prepared, error) {
-		return paddedPrepare(req, func(lvl *core.Level, eng *engine.Engine) (paddedSolve, error) {
+		return paddedPrepare(level, req, func(lvl *core.Level, eng *engine.Engine) (paddedSolve, error) {
 			det, rnd, err := lvl.EngineSolvers(eng)
 			if err != nil {
 				return nil, err
@@ -352,7 +363,7 @@ func paddedEnginePrepare(pick func(det, rnd *core.EnginePaddedSolver) *core.Engi
 // message-solver oracle.
 func paddedMessagePrepare(forceGather bool) func(Request) (Prepared, error) {
 	return func(req Request) (Prepared, error) {
-		return paddedPrepare(req, func(_ *core.Level, eng *engine.Engine) (paddedSolve, error) {
+		return paddedPrepare(2, req, func(_ *core.Level, eng *engine.Engine) (paddedSolve, error) {
 			s := core.NewEnginePaddedSolver(sinkless.NewMessageSolver(), core.LevelDelta(2), eng)
 			s.ForceGather = forceGather
 			return s.SolveDetailed, nil
@@ -364,7 +375,7 @@ func paddedMessagePrepare(forceGather bool) func(Request) (Prepared, error) {
 // sinkless message solver: the reference both message-solver engine
 // entries (native and forced-gather) must fingerprint identically to.
 func paddedMessageOraclePrepare(req Request) (Prepared, error) {
-	return paddedPrepare(req, func(_ *core.Level, _ *engine.Engine) (paddedSolve, error) {
+	return paddedPrepare(2, req, func(_ *core.Level, _ *engine.Engine) (paddedSolve, error) {
 		return core.NewPaddedSolver(sinkless.NewMessageSolver(), core.LevelDelta(2)).SolveDetailed, nil
 	}, false)
 }
@@ -481,7 +492,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			EngineAware:   true,
-			Prepare:       paddedEnginePrepare(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return det }),
+			Prepare:       paddedEnginePrepare(2, func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return det }),
 		},
 		{
 			Name:          "pi2-rand",
@@ -489,7 +500,23 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			EngineAware:   true,
-			Prepare:       paddedEnginePrepare(func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return rnd }),
+			Prepare:       paddedEnginePrepare(2, func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return rnd }),
+		},
+		{
+			Name:          "pi3-det",
+			Description:   "Π₃ = padded(padded(sinkless)) flattened onto the engine, deterministic (Θ(log³ n)): every padding layer its own engine run; sizes are base-graph nodes",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			EngineAware:   true,
+			Prepare:       paddedEnginePrepare(3, func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return det }),
+		},
+		{
+			Name:          "pi3-rand",
+			Description:   "Π₃ = padded(padded(sinkless)) flattened onto the engine, randomized (Θ(log² n·loglog n)): every padding layer its own engine run; sizes are base-graph nodes",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			EngineAware:   true,
+			Prepare:       paddedEnginePrepare(3, func(det, rnd *core.EnginePaddedSolver) *core.EnginePaddedSolver { return rnd }),
 		},
 		{
 			Name:          "pi2-rand-native",
@@ -513,7 +540,7 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			Oracle:        true,
-			Prepare:       paddedOraclePrepare(func(lvl *core.Level) lcl.Solver { return lvl.Det }),
+			Prepare:       paddedOraclePrepare(2, func(lvl *core.Level) lcl.Solver { return lvl.Det }),
 		},
 		{
 			Name:          "pi2-rand-oracle",
@@ -521,7 +548,23 @@ func Registry() []Entry {
 			DefaultFamily: PaddedFamily,
 			Padded:        true,
 			Oracle:        true,
-			Prepare:       paddedOraclePrepare(func(lvl *core.Level) lcl.Solver { return lvl.Rand }),
+			Prepare:       paddedOraclePrepare(2, func(lvl *core.Level) lcl.Solver { return lvl.Rand }),
+		},
+		{
+			Name:          "pi3-det-oracle",
+			Description:   "Π₃ sequential tower oracle, deterministic — reference for the flattened pi3-det (identical checksums)",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			Oracle:        true,
+			Prepare:       paddedOraclePrepare(3, func(lvl *core.Level) lcl.Solver { return lvl.Det }),
+		},
+		{
+			Name:          "pi3-rand-oracle",
+			Description:   "Π₃ sequential tower oracle, randomized — reference for the flattened pi3-rand (identical checksums)",
+			DefaultFamily: PaddedFamily,
+			Padded:        true,
+			Oracle:        true,
+			Prepare:       paddedOraclePrepare(3, func(lvl *core.Level) lcl.Solver { return lvl.Rand }),
 		},
 		{
 			Name:          "pi2-rand-native-oracle",

@@ -196,6 +196,10 @@ var solverShapes = map[string]string{
 	"pi2-rand-native":        "log^2",
 	"pi2-rand-native-oracle": "log^2",
 	"pi2-rand-gather":        "log^2",
+	"pi3-det":                "log^3",
+	"pi3-det-oracle":         "log^3",
+	"pi3-rand":               "log^3",
+	"pi3-rand-oracle":        "log^3",
 }
 
 const defaultShape = "log"
